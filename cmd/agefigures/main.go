@@ -1,0 +1,179 @@
+// Command agefigures regenerates the paper's tables and figures. For each
+// requested figure it runs the corresponding experiment (simulations plus
+// analytic computations), writes the data as CSV under -out, and prints
+// an ASCII rendering for quick inspection.
+//
+// Usage:
+//
+//	agefigures                      # everything, full scale (slow)
+//	agefigures -fig 4a -fig 4b      # only Figure 4
+//	agefigures -quick               # reduced trials/duration smoke run
+//	agefigures -list                # show the experiment index
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"impatience/internal/experiment"
+	"impatience/internal/plot"
+	"impatience/internal/synth"
+	"impatience/internal/utility"
+)
+
+type figureFlag []string
+
+func (f *figureFlag) String() string     { return strings.Join(*f, ",") }
+func (f *figureFlag) Set(v string) error { *f = append(*f, strings.ToLower(v)); return nil }
+
+var figureIndex = []struct {
+	id   string
+	desc string
+}{
+	{"t1", "Table 1: delay-utility transforms (closed forms, numerically verified)"},
+	{"1", "Figure 1: delay-utility function shapes (3 panels)"},
+	{"2", "Figure 2: optimal allocation exponent 1/(2-α)"},
+	{"3", "Figure 3: mandate routing on/off (utility + replica dynamics)"},
+	{"4a", "Figure 4 left: loss vs α, power utility, homogeneous contacts"},
+	{"4b", "Figure 4 right: loss vs τ, step utility, homogeneous contacts"},
+	{"5a", "Figure 5a: utility over time, conference trace, step τ=60"},
+	{"5b", "Figure 5b: loss vs τ, conference trace (actual)"},
+	{"5c", "Figure 5c: loss vs τ, conference trace (memoryless counterpart)"},
+	{"6a", "Figure 6a: loss vs α, vehicular trace"},
+	{"6b", "Figure 6b: loss vs τ, vehicular trace"},
+	{"6c", "Figure 6c: loss vs ν, vehicular trace"},
+	{"x1", "Ablation: cache size ρ and popularity ω sweeps"},
+	{"x2", "Ablation: rewriting vs no rewriting"},
+	{"x3", "Ablation: mean-field (Eq. 7) convergence"},
+	{"x4", "Ablation: dynamic demand flip"},
+	{"x5", "Ablation: discrete vs continuous time"},
+	{"x6", "Extension: protocol overhead per scheme"},
+	{"x7", "Extension: mixed catalog with per-item utilities"},
+	{"x8", "Extension: dedicated kiosks with neglog utility"},
+	{"x9", "Extension: adaptive impatience estimation from feedback"},
+	{"xr", "Ablation: reaction-function comparison"},
+}
+
+func main() {
+	var figs figureFlag
+	flag.Var(&figs, "fig", "figure id to regenerate (repeatable); default all")
+	outDir := flag.String("out", "results", "output directory for CSV files")
+	quick := flag.Bool("quick", false, "reduced trials and durations (smoke run)")
+	list := flag.Bool("list", false, "list available figure ids")
+	ascii := flag.Bool("ascii", true, "print ASCII charts")
+	flag.Parse()
+
+	if *list {
+		for _, f := range figureIndex {
+			fmt.Printf("  %-4s %s\n", f.id, f.desc)
+		}
+		return
+	}
+	if len(figs) == 0 {
+		for _, f := range figureIndex {
+			figs = append(figs, f.id)
+		}
+	}
+	sc := experiment.Default()
+	conf := synth.DefaultConference()
+	veh := synth.DefaultVehicular()
+	if *quick {
+		sc = sc.Scaled(0.2, 0.4)
+		conf.Days = 1
+		veh.DurationMin = 480
+	}
+	for _, id := range figs {
+		start := time.Now()
+		tables, err := runFigure(id, sc, conf, veh)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "agefigures: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		for k, tb := range tables {
+			name := fmt.Sprintf("fig%s", id)
+			if len(tables) > 1 {
+				name = fmt.Sprintf("fig%s_%d", id, k)
+			}
+			path := filepath.Join(*outDir, name+".csv")
+			if err := tb.SaveCSV(path); err != nil {
+				fmt.Fprintf(os.Stderr, "agefigures: save %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			if *ascii {
+				fmt.Println(tb.ASCII(90, 20))
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		fmt.Printf("[%s done in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func runFigure(id string, sc experiment.Scenario, conf synth.ConferenceConfig, veh synth.VehicularConfig) ([]*plot.Table, error) {
+	one := func(t *plot.Table, err error) ([]*plot.Table, error) {
+		if err != nil {
+			return nil, err
+		}
+		return []*plot.Table{t}, nil
+	}
+	switch id {
+	case "t1":
+		fmt.Print(experiment.Table1(sc.Mu, sc.Nodes))
+		return nil, nil
+	case "1":
+		return experiment.Figure1(), nil
+	case "2":
+		return one(experiment.Figure2(sc))
+	case "3":
+		return experiment.Figure3(sc)
+	case "4a":
+		return one(experiment.Figure4Power(sc, nil))
+	case "4b":
+		return one(experiment.Figure4Step(sc, nil))
+	case "5a":
+		return one(experiment.Figure5TimeSeries(sc, conf, 60))
+	case "5b":
+		return one(experiment.Figure5Step(sc, conf, nil, false))
+	case "5c":
+		return one(experiment.Figure5Step(sc, conf, nil, true))
+	case "6a":
+		return one(experiment.Figure6(sc, veh, "power", nil))
+	case "6b":
+		return one(experiment.Figure6(sc, veh, "step", nil))
+	case "6c":
+		return one(experiment.Figure6(sc, veh, "exp", nil))
+	case "x1":
+		a, err := experiment.AblationCacheSize(sc, nil, utility.Step{Tau: 10})
+		if err != nil {
+			return nil, err
+		}
+		b, err := experiment.AblationPopularity(sc, nil, utility.Step{Tau: 10})
+		if err != nil {
+			return nil, err
+		}
+		return []*plot.Table{a, b}, nil
+	case "x2":
+		return one(experiment.AblationRewriting(sc, utility.Power{Alpha: 0}))
+	case "x3":
+		return one(experiment.MeanFieldConvergence(sc, utility.Power{Alpha: 0}, 0, 0))
+	case "x4":
+		return one(experiment.DynamicDemand(sc, utility.Step{Tau: 10}))
+	case "x5":
+		return one(experiment.DiscreteVsContinuous(sc, utility.Exponential{Nu: 0.2}, nil))
+	case "x6":
+		return one(experiment.OverheadComparison(sc, utility.Power{Alpha: 0}))
+	case "x7":
+		return one(experiment.MixedCatalog(sc))
+	case "x8":
+		return one(experiment.DedicatedKiosks(sc, sc.Nodes/5))
+	case "x9":
+		return one(experiment.AdaptiveImpatience(sc, 0.1))
+	case "xr":
+		return one(experiment.ReactionComparison(sc, utility.Power{Alpha: 0}))
+	default:
+		return nil, fmt.Errorf("unknown figure %q (use -list)", id)
+	}
+}

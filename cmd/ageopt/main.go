@@ -1,0 +1,111 @@
+// Command ageopt computes optimal and heuristic cache allocations and
+// their social welfare, printing the analytic side of the paper: Table 1,
+// the allocation table for a given utility, and the Property-1 balance
+// check.
+//
+// Usage examples:
+//
+//	ageopt -table1
+//	ageopt -utility power:0 -nodes 50 -items 20 -rho 5
+//	ageopt -utility step:10 -relaxed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"impatience/internal/alloc"
+	"impatience/internal/demand"
+	"impatience/internal/experiment"
+	"impatience/internal/utility"
+	"impatience/internal/welfare"
+)
+
+func main() {
+	var (
+		table1      = flag.Bool("table1", false, "print Table 1 (closed forms with numeric verification)")
+		utilitySpec = flag.String("utility", "step:10", "delay-utility spec")
+		nodes       = flag.Int("nodes", 50, "number of nodes")
+		items       = flag.Int("items", 20, "catalog size")
+		rho         = flag.Int("rho", 5, "cache slots per node")
+		mu          = flag.Float64("mu", 0.05, "pairwise contact rate")
+		omega       = flag.Float64("omega", 1, "Pareto popularity exponent")
+		demandRate  = flag.Float64("demand", 2, "aggregate request rate")
+		pureP2P     = flag.Bool("pure", true, "pure P2P population (vs dedicated servers)")
+		relaxed     = flag.Bool("relaxed", false, "also print the relaxed (real-valued) optimum and balance check")
+	)
+	flag.Parse()
+
+	if *table1 {
+		fmt.Print(experiment.Table1(*mu, *nodes))
+		return
+	}
+	if err := run(*utilitySpec, *nodes, *items, *rho, *mu, *omega, *demandRate, *pureP2P, *relaxed); err != nil {
+		fmt.Fprintln(os.Stderr, "ageopt:", err)
+		os.Exit(1)
+	}
+}
+
+func run(utilitySpec string, nodes, items, rho int, mu, omega, demandRate float64, pureP2P, relaxed bool) error {
+	u, err := utility.Parse(utilitySpec)
+	if err != nil {
+		return err
+	}
+	pop := demand.Pareto(items, omega, demandRate)
+	h := welfare.Homogeneous{
+		Utility: u, Pop: pop, Mu: mu, Servers: nodes, Clients: nodes, PureP2P: pureP2P,
+	}
+	opt, err := h.GreedyOptimal(rho)
+	if err != nil {
+		return err
+	}
+
+	allocs := []struct {
+		name string
+		c    alloc.Counts
+	}{
+		{"OPT (greedy)", opt},
+		{"UNI", alloc.Uniform(items, nodes, rho)},
+		{"SQRT", alloc.Sqrt(pop.Rates, nodes, rho)},
+		{"PROP", alloc.Prop(pop.Rates, nodes, rho)},
+		{"DOM", alloc.Dom(pop.Rates, nodes, rho)},
+	}
+	fmt.Printf("utility %s, µ=%g, %d nodes, %d items, ρ=%d, ω=%g, pure P2P=%v\n\n",
+		u.Name(), mu, nodes, items, rho, omega, pureP2P)
+	fmt.Printf("%-14s %14s %10s  %s\n", "allocation", "welfare U(x)", "loss vs OPT", "x_i (first 12 items)")
+	uOpt := h.WelfareCounts(opt)
+	for _, a := range allocs {
+		uA := h.WelfareCounts(a.c)
+		loss := "0%"
+		if a.name != "OPT (greedy)" && uOpt != 0 {
+			loss = fmt.Sprintf("%.2f%%", 100*(uA-uOpt)/abs(uOpt))
+		}
+		head := a.c
+		if len(head) > 12 {
+			head = head[:12]
+		}
+		fmt.Printf("%-14s %14.6g %10s  %v\n", a.name, uA, loss, head)
+	}
+
+	if relaxed {
+		x, err := h.RelaxedOptimal(rho)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nrelaxed optimum (water-filling, Σx=%d):\n", alloc.Capacity(nodes, rho))
+		fmt.Printf("%-6s %10s %14s %16s\n", "item", "d_i", "x̃_i", "d_i·ϕ(x̃_i)")
+		for i := 0; i < items && i < 12; i++ {
+			fmt.Printf("%-6d %10.5g %14.5g %16.6g\n", i, pop.Rates[i], x[i], pop.Rates[i]*u.Phi(mu, x[i]))
+		}
+		fmt.Println("(interior d_i·ϕ(x̃_i) values are equal — the Property 1 balance condition)")
+	}
+	return nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

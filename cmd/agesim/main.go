@@ -1,0 +1,156 @@
+// Command agesim runs a single opportunistic-caching simulation and
+// prints the realized utility, allocation and protocol statistics.
+//
+// Usage examples:
+//
+//	agesim -utility step:10 -scheme qcr -nodes 50 -items 50 -rho 5 -duration 5000
+//	agesim -utility power:0 -scheme prop -trace conference
+//	agesim -utility exp:0.1 -scheme opt -trace file -trace-file contacts.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"strings"
+
+	"impatience/internal/demand"
+	"impatience/internal/experiment"
+	"impatience/internal/synth"
+	"impatience/internal/trace"
+	"impatience/internal/utility"
+	"impatience/internal/welfare"
+)
+
+func main() {
+	var (
+		utilitySpec = flag.String("utility", "step:10", "delay-utility spec: step:τ, exp:ν, power:α, neglog")
+		scheme      = flag.String("scheme", "qcr", "replication scheme: qcr, qcrwom, opt, uni, sqrt, prop, dom")
+		nodes       = flag.Int("nodes", 50, "number of nodes (pure P2P population)")
+		items       = flag.Int("items", 50, "catalog size")
+		rho         = flag.Int("rho", 5, "cache slots per node")
+		mu          = flag.Float64("mu", 0.05, "pairwise contact rate (homogeneous trace)")
+		omega       = flag.Float64("omega", 1, "Pareto popularity exponent")
+		demandRate  = flag.Float64("demand", 2, "aggregate request rate per minute")
+		duration    = flag.Float64("duration", 5000, "simulated minutes (homogeneous trace)")
+		traceKind   = flag.String("trace", "homogeneous", "contact source: homogeneous, conference, vehicular, file")
+		traceFile   = flag.String("trace-file", "", "trace file path when -trace file")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		qcrScale    = flag.Float64("qcr-scale", 0.1, "reaction-function scale")
+		warmup      = flag.Float64("warmup", 0.3, "fraction of the run excluded from averages")
+		showAlloc   = flag.Bool("show-alloc", false, "print the final per-item replica counts")
+	)
+	flag.Parse()
+
+	if err := run(*utilitySpec, *scheme, *nodes, *items, *rho, *mu, *omega, *demandRate,
+		*duration, *traceKind, *traceFile, *seed, *qcrScale, *warmup, *showAlloc); err != nil {
+		fmt.Fprintln(os.Stderr, "agesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(utilitySpec, scheme string, nodes, items, rho int, mu, omega, demandRate,
+	duration float64, traceKind, traceFile string, seed uint64, qcrScale, warmup float64, showAlloc bool) error {
+
+	u, err := utility.Parse(utilitySpec)
+	if err != nil {
+		return err
+	}
+
+	sc := experiment.Scenario{
+		Nodes: nodes, Items: items, Rho: rho, Mu: mu, Omega: omega,
+		DemandRate: demandRate, Duration: duration, Trials: 1, Seed: seed,
+		QCRScale: qcrScale, WarmupFrac: warmup,
+	}
+
+	var tr *trace.Trace
+	rng := rand.New(rand.NewPCG(seed, seed^0xa9e51))
+	switch traceKind {
+	case "homogeneous":
+		gen := sc.HomogeneousTraces()
+		tr, err = gen(seed)
+	case "conference":
+		cfg := synth.DefaultConference()
+		cfg.Nodes = nodes
+		tr, err = synth.Conference(cfg, rng)
+	case "vehicular":
+		cfg := synth.DefaultVehicular()
+		cfg.Cabs = nodes
+		tr, err = synth.Vehicular(cfg, rng)
+	case "file":
+		if traceFile == "" {
+			return fmt.Errorf("-trace file requires -trace-file")
+		}
+		tr, err = trace.Load(traceFile)
+		if err == nil && tr.Nodes != nodes {
+			fmt.Printf("note: trace has %d nodes; overriding -nodes\n", tr.Nodes)
+			sc.Nodes = tr.Nodes
+			nodes = tr.Nodes
+		}
+	default:
+		return fmt.Errorf("unknown trace kind %q", traceKind)
+	}
+	if err != nil {
+		return err
+	}
+	sc.Duration = tr.Duration
+
+	rates := trace.EmpiricalRates(tr)
+	muEff := rates.Mean()
+	if muEff <= 0 {
+		return fmt.Errorf("trace has no contacts")
+	}
+
+	schemeName, err := canonicalScheme(scheme)
+	if err != nil {
+		return err
+	}
+	res, err := sc.RunScheme(schemeName, u, tr, rates, muEff, 0, false)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("scheme          %s\n", schemeName)
+	fmt.Printf("utility         %s\n", u.Name())
+	fmt.Printf("trace           %s: %d nodes, %.0f min, %d contacts (mean pair rate %.5f/min)\n",
+		traceKind, tr.Nodes, tr.Duration, len(tr.Contacts), muEff)
+	fmt.Printf("population      pure P2P, ρ=%d, %d items, Pareto ω=%g, %.3g req/min\n", rho, items, omega, demandRate)
+	fmt.Printf("avg utility     %.6g (gain per minute, after %.0f min warmup)\n", res.AvgUtilityRate, res.MeasureStart)
+	fmt.Printf("fulfillments    %d (%d immediate), %d still outstanding\n", res.Fulfillments, res.Immediate, res.Outstanding)
+	fmt.Printf("replicas made   %d over %d meetings\n", res.ReplicasMade, res.Meetings)
+
+	// Analytic reference under the memoryless homogeneous approximation.
+	pop := demand.Pareto(items, omega, demandRate)
+	hom := welfare.Homogeneous{
+		Utility: u, Pop: pop, Mu: muEff, Servers: nodes, Clients: nodes, PureP2P: true,
+	}
+	if opt, err := hom.GreedyOptimal(rho); err == nil {
+		fmt.Printf("analytic U_opt  %.6g (homogeneous memoryless approximation)\n", hom.WelfareCounts(opt))
+	}
+	if showAlloc {
+		fmt.Printf("final counts    %v\n", res.FinalCounts)
+	}
+	return nil
+}
+
+func canonicalScheme(s string) (string, error) {
+	switch strings.ToLower(s) {
+	case "qcr":
+		return experiment.SchemeQCR, nil
+	case "qcrwom", "qcr-no-routing":
+		return experiment.SchemeQCRWOM, nil
+	case "opt":
+		return experiment.SchemeOPT, nil
+	case "uni":
+		return experiment.SchemeUNI, nil
+	case "sqrt":
+		return experiment.SchemeSQRT, nil
+	case "prop":
+		return experiment.SchemePROP, nil
+	case "dom":
+		return experiment.SchemeDOM, nil
+	default:
+		return "", fmt.Errorf("unknown scheme %q", s)
+	}
+}

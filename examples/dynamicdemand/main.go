@@ -1,0 +1,89 @@
+// Dynamic demand: QCR adapting to a popularity flip (the Section 7
+// claim that reactive replication "naturally adapts to dynamic demand").
+//
+// Halfway through the run the catalog's popularity ranking is inverted —
+// yesterday's blockbusters become niche and vice versa. A fixed OPT
+// allocation computed for the old demand collapses; QCR re-converges on
+// its own.
+//
+// Run with: go run ./examples/dynamicdemand
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"impatience"
+)
+
+func main() {
+	const (
+		nodes    = 40
+		items    = 30
+		rho      = 2 // tight caches make the allocation matter
+		mu       = 0.02
+		duration = 12000.0
+	)
+	u := impatience.Step{Tau: 8}
+	oldPop := impatience.ParetoPopularity(items, 1.5, 2)
+	newPop := impatience.Popularity{Rates: make([]float64, items)}
+	for i, d := range oldPop.Rates {
+		newPop.Rates[items-1-i] = d
+	}
+
+	tr, err := impatience.GenerateHomogeneousTrace(nodes, mu, duration,
+		rand.New(rand.NewPCG(10, 20)))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(policy impatience.ReplicationPolicy, initial impatience.AllocationCounts) *impatience.SimResult {
+		cfg := impatience.SimConfig{
+			Rho: rho, Utility: u, Pop: oldPop, Trace: tr, Policy: policy, Seed: 30,
+			BinWidth: duration / 30, RecordCounts: true,
+			DemandSwitch: &newPop, DemandSwitchTime: duration / 2,
+			WarmupFrac: -1, // measure everything; we inspect the series
+		}
+		if initial != nil {
+			cfg.Initial = initial
+			cfg.NoSticky = true
+		}
+		res, err := impatience.Simulate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	homOld := impatience.Homogeneous{Utility: u, Pop: oldPop, Mu: mu, Servers: nodes, Clients: nodes, PureP2P: true}
+	optOld, err := homOld.GreedyOptimal(rho)
+	if err != nil {
+		log.Fatal(err)
+	}
+	staleOPT := run(impatience.StaticPolicy{Label: "stale-opt"}, optOld)
+	qcr := run(&impatience.QCR{
+		Reaction:       impatience.TunedReaction(u, mu, nodes, 0.15),
+		MandateRouting: true,
+		StrictSource:   true,
+		MaxMandates:    5, Seed: 40,
+	}, nil)
+
+	fmt.Printf("popularity ranking flips at t=%.0f min\n\n", duration/2)
+	fmt.Printf("%-12s %18s %18s\n", "time (min)", "stale OPT (gain/min)", "QCR (gain/min)")
+	for k := range qcr.Bins {
+		if k%3 != 0 {
+			continue
+		}
+		b := qcr.Bins[k]
+		so := staleOPT.Bins[k]
+		marker := ""
+		if b.T0 <= duration/2 && b.T1 > duration/2 {
+			marker = "  ← demand flips"
+		}
+		fmt.Printf("%-12.0f %18.3f %18.3f%s\n",
+			b.T0, so.Gain/(so.T1-so.T0), b.Gain/(b.T1-b.T0), marker)
+	}
+	fmt.Println("\nThe stale optimal allocation never recovers; QCR's query counters notice the")
+	fmt.Println("new demand and rebuild the cache within a few hundred minutes.")
+}

@@ -1,0 +1,76 @@
+// Vehicular: time-critical information dissemination among taxis on a
+// synthetic Cabspotting-like trace (random-waypoint cabs in a 10 km grid,
+// contacts within 200 m — see internal/mobility).
+//
+// Cabs share road-condition reports whose value decays exponentially;
+// the experiment sweeps the decay rate ν from patient (ν → 0) to
+// hyper-impatient (ν large) and shows how the best allocation shifts
+// from spread-out toward popularity-dominated — the Figure 6c effect.
+//
+// Run with: go run ./examples/vehicular
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"impatience"
+)
+
+func main() {
+	const (
+		items = 30
+		rho   = 4
+	)
+	cfg := impatience.DefaultVehicular()
+	cfg.DurationMin = 720 // half a day keeps the example fast
+	tr, err := impatience.VehicularTrace(cfg, rand.New(rand.NewPCG(5, 55)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rates := impatience.EmpiricalRates(tr)
+	fmt.Printf("vehicular trace: %d cabs, %.0f h, %d encounters, mean pair rate %.5f/min\n\n",
+		tr.Nodes, tr.Duration/60, len(tr.Contacts), rates.Mean())
+
+	pop := impatience.ParetoPopularity(items, 1, 2)
+	fmt.Printf("%-10s %12s %12s %12s %12s\n", "ν (1/min)", "QCR", "UNI", "PROP", "DOM")
+	for _, nu := range []float64{0.001, 0.01, 0.1, 1} {
+		u := impatience.Exponential{Nu: nu}
+		row := []float64{}
+		for _, scheme := range []string{"qcr", "uni", "prop", "dom"} {
+			var policy impatience.ReplicationPolicy
+			var initial impatience.AllocationCounts
+			switch scheme {
+			case "qcr":
+				policy = &impatience.QCR{
+					Reaction:       impatience.TunedReaction(u, rates.Mean(), tr.Nodes, 0.1),
+					MandateRouting: true,
+					StrictSource:   true,
+					MaxMandates:    5, Seed: 21,
+				}
+			case "uni":
+				policy, initial = impatience.StaticPolicy{Label: scheme}, impatience.UniformAllocation(items, tr.Nodes, rho)
+			case "prop":
+				policy, initial = impatience.StaticPolicy{Label: scheme}, impatience.PropAllocation(pop.Rates, tr.Nodes, rho)
+			case "dom":
+				policy, initial = impatience.StaticPolicy{Label: scheme}, impatience.DomAllocation(pop.Rates, tr.Nodes, rho)
+			}
+			sc := impatience.SimConfig{
+				Rho: rho, Utility: u, Pop: pop, Trace: tr, Policy: policy, Seed: 31,
+			}
+			if initial != nil {
+				sc.Initial = initial
+				sc.NoSticky = true
+			}
+			res, err := impatience.Simulate(sc)
+			if err != nil {
+				log.Fatal(err)
+			}
+			row = append(row, res.AvgUtilityRate)
+		}
+		fmt.Printf("%-10g %12.4f %12.4f %12.4f %12.4f\n", nu, row[0], row[1], row[2], row[3])
+	}
+	fmt.Println("\nAs ν grows (users more impatient) the popularity-dominated cache gains ground,")
+	fmt.Println("while QCR re-tunes itself automatically — no control channel needed.")
+}

@@ -1,0 +1,3 @@
+module impatience
+
+go 1.24

@@ -1,0 +1,340 @@
+// Package alloc defines cache allocations — how many replicas of each
+// content item the global distributed cache holds, and on which servers —
+// together with the fixed heuristic allocations the paper benchmarks
+// against (UNI, SQRT, PROP, DOM) and the machinery to place an integer
+// allocation onto concrete per-server caches.
+package alloc
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Counts is an integer allocation: Counts[i] replicas of item i across
+// the server population, ignoring which server holds what. Under
+// homogeneous contacts the social welfare depends on the allocation only
+// through Counts (Theorem 2).
+type Counts []int
+
+// Total returns the number of replicas Σ_i x_i.
+func (c Counts) Total() int {
+	var sum int
+	for _, v := range c {
+		sum += v
+	}
+	return sum
+}
+
+// Validate checks 0 ≤ x_i ≤ servers and Σ x_i ≤ servers·rho.
+func (c Counts) Validate(servers, rho int) error {
+	total := 0
+	for i, v := range c {
+		if v < 0 || v > servers {
+			return fmt.Errorf("alloc: item %d has %d replicas (servers=%d)", i, v, servers)
+		}
+		total += v
+	}
+	if total > servers*rho {
+		return fmt.Errorf("alloc: %d replicas exceed capacity %d", total, servers*rho)
+	}
+	return nil
+}
+
+// Capacity is the total number of cache slots servers·rho.
+func Capacity(servers, rho int) int { return servers * rho }
+
+// Uniform builds the UNI heuristic: the global cache divided evenly
+// between all items (the remainder, if any, goes to the lowest-indexed
+// items, one extra slot each), each item capped at the server count.
+func Uniform(items, servers, rho int) Counts {
+	budget := Capacity(servers, rho)
+	c := make(Counts, items)
+	if items == 0 {
+		return c
+	}
+	base := budget / items
+	rem := budget % items
+	for i := range c {
+		v := base
+		if i < rem {
+			v++
+		}
+		if v > servers {
+			v = servers
+		}
+		c[i] = v
+	}
+	return c
+}
+
+// Weighted apportions the budget proportionally to non-negative weights
+// using largest-remainder rounding with a per-item cap of servers. Any
+// budget that cannot be placed because every positive-weight item is at
+// its cap spills to zero-weight items (uniformly), and is dropped only if
+// the whole catalog is saturated.
+func Weighted(weights []float64, servers, rho int) Counts {
+	items := len(weights)
+	budget := Capacity(servers, rho)
+	c := make(Counts, items)
+	if items == 0 || budget == 0 {
+		return c
+	}
+	var wsum float64
+	for _, w := range weights {
+		if w > 0 {
+			wsum += w
+		}
+	}
+	if wsum == 0 {
+		return Uniform(items, servers, rho)
+	}
+	// Iteratively apportion among uncapped items; items that hit the cap
+	// release their excess to the rest.
+	remaining := budget
+	active := make([]int, 0, items)
+	for i, w := range weights {
+		if w > 0 {
+			active = append(active, i)
+		}
+	}
+	for remaining > 0 && len(active) > 0 {
+		var aw float64
+		for _, i := range active {
+			aw += weights[i]
+		}
+		type share struct {
+			item int
+			base int
+			frac float64
+		}
+		shares := make([]share, 0, len(active))
+		allocated := 0
+		for _, i := range active {
+			exact := float64(remaining) * weights[i] / aw
+			b := int(math.Floor(exact))
+			if c[i]+b > servers {
+				b = servers - c[i]
+			}
+			shares = append(shares, share{item: i, base: b, frac: exact - math.Floor(exact)})
+			allocated += b
+		}
+		// Largest remainders get the leftover units (respecting caps).
+		sort.SliceStable(shares, func(a, b int) bool { return shares[a].frac > shares[b].frac })
+		left := remaining - allocated
+		for k := range shares {
+			if left == 0 {
+				break
+			}
+			i := shares[k].item
+			if c[i]+shares[k].base < servers {
+				shares[k].base++
+				left--
+			}
+		}
+		progress := false
+		for _, s := range shares {
+			if s.base > 0 {
+				progress = true
+			}
+			c[s.item] += s.base
+			remaining -= s.base
+		}
+		// Drop saturated items from the active set.
+		next := active[:0]
+		for _, i := range active {
+			if c[i] < servers {
+				next = append(next, i)
+			}
+		}
+		active = next
+		if !progress && left == remaining {
+			break
+		}
+	}
+	// Spill leftover budget to zero-weight items, round-robin.
+	for remaining > 0 {
+		placed := false
+		for i := range c {
+			if remaining == 0 {
+				break
+			}
+			if c[i] < servers {
+				c[i]++
+				remaining--
+				placed = true
+			}
+		}
+		if !placed {
+			break
+		}
+	}
+	return c
+}
+
+// Sqrt builds the SQRT heuristic: replicas proportional to √d_i, the
+// classical path-replication equilibrium of Cohen & Shenker.
+func Sqrt(demand []float64, servers, rho int) Counts {
+	w := make([]float64, len(demand))
+	for i, d := range demand {
+		w[i] = math.Sqrt(d)
+	}
+	return Weighted(w, servers, rho)
+}
+
+// Prop builds the PROP heuristic: replicas proportional to demand, the
+// equilibrium of passive one-copy-per-fulfillment replication.
+func Prop(demand []float64, servers, rho int) Counts {
+	return Weighted(append([]float64(nil), demand...), servers, rho)
+}
+
+// Dom builds the DOM heuristic: every server caches the ρ most demanded
+// items, so the top ρ items have servers replicas each and everything
+// else has none. Ties are broken toward the lower item index.
+func Dom(demand []float64, servers, rho int) Counts {
+	items := len(demand)
+	c := make(Counts, items)
+	idx := make([]int, items)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return demand[idx[a]] > demand[idx[b]] })
+	for k := 0; k < rho && k < items; k++ {
+		c[idx[k]] = servers
+	}
+	return c
+}
+
+// RoundCounts converts a real-valued allocation (e.g. the water-filled
+// relaxed optimum) into a feasible integer allocation with the same
+// budget, using largest-remainder rounding with the server cap.
+func RoundCounts(x []float64, servers, rho int) Counts {
+	return Weighted(append([]float64(nil), x...), servers, rho)
+}
+
+// ---------------------------------------------------------------------------
+// Placement: assigning an integer allocation to concrete server caches.
+
+// Placement records which servers hold which items: a bitmap plus
+// per-server load. It is the x_{i,m} matrix of the paper.
+type Placement struct {
+	Items   int
+	Servers int
+	Rho     int
+	has     []bool // [item*Servers + server]
+	load    []int  // items cached per server
+}
+
+// NewPlacement creates an empty placement.
+func NewPlacement(items, servers, rho int) *Placement {
+	return &Placement{
+		Items:   items,
+		Servers: servers,
+		Rho:     rho,
+		has:     make([]bool, items*servers),
+		load:    make([]int, servers),
+	}
+}
+
+// Has reports whether server m caches item i.
+func (p *Placement) Has(i, m int) bool { return p.has[i*p.Servers+m] }
+
+// Load returns the number of items cached by server m.
+func (p *Placement) Load(m int) int { return p.load[m] }
+
+// Set places (or removes) item i on server m. Placing on a full server or
+// double-placing is an error, keeping calling code honest.
+func (p *Placement) Set(i, m int, present bool) error {
+	idx := i*p.Servers + m
+	if p.has[idx] == present {
+		return fmt.Errorf("alloc: item %d on server %d already %v", i, m, present)
+	}
+	if present {
+		if p.load[m] >= p.Rho {
+			return fmt.Errorf("alloc: server %d full (ρ=%d)", m, p.Rho)
+		}
+		p.load[m]++
+	} else {
+		p.load[m]--
+	}
+	p.has[idx] = present
+	return nil
+}
+
+// Counts returns the per-item replica counts of the placement.
+func (p *Placement) Counts() Counts {
+	c := make(Counts, p.Items)
+	for i := 0; i < p.Items; i++ {
+		row := p.has[i*p.Servers : (i+1)*p.Servers]
+		for _, h := range row {
+			if h {
+				c[i]++
+			}
+		}
+	}
+	return c
+}
+
+// serverHeap orders servers by ascending load for balanced placement.
+type serverHeap struct {
+	ids  []int
+	load []int
+}
+
+func (h serverHeap) Len() int { return len(h.ids) }
+func (h serverHeap) Less(a, b int) bool {
+	if h.load[h.ids[a]] != h.load[h.ids[b]] {
+		return h.load[h.ids[a]] < h.load[h.ids[b]]
+	}
+	return h.ids[a] < h.ids[b]
+}
+func (h serverHeap) Swap(a, b int) { h.ids[a], h.ids[b] = h.ids[b], h.ids[a] }
+func (h *serverHeap) Push(x any)   { h.ids = append(h.ids, x.(int)) }
+func (h *serverHeap) Pop() any {
+	old := h.ids
+	n := len(old)
+	v := old[n-1]
+	h.ids = old[:n-1]
+	return v
+}
+
+// Place distributes an integer allocation onto concrete caches: each
+// item's x_i replicas go to the x_i least-loaded distinct servers. This
+// always succeeds when the allocation is feasible (x_i ≤ servers and
+// Σ x_i ≤ servers·ρ): processing items by decreasing count and spreading
+// across least-loaded servers never strands capacity.
+func Place(c Counts, servers, rho int) (*Placement, error) {
+	if err := c.Validate(servers, rho); err != nil {
+		return nil, err
+	}
+	p := NewPlacement(len(c), servers, rho)
+	order := make([]int, len(c))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return c[order[a]] > c[order[b]] })
+	for _, i := range order {
+		need := c[i]
+		if need == 0 {
+			continue
+		}
+		h := &serverHeap{load: p.load}
+		for m := 0; m < servers; m++ {
+			if p.load[m] < rho {
+				h.ids = append(h.ids, m)
+			}
+		}
+		if len(h.ids) < need {
+			return nil, fmt.Errorf("alloc: cannot place %d replicas of item %d (only %d servers with room)", need, i, len(h.ids))
+		}
+		heap.Init(h)
+		for k := 0; k < need; k++ {
+			m := heap.Pop(h).(int)
+			if err := p.Set(i, m, true); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return p, nil
+}

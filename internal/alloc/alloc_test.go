@@ -1,0 +1,281 @@
+package alloc
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniform(t *testing.T) {
+	c := Uniform(50, 50, 5) // budget 250, 5 each
+	for i, v := range c {
+		if v != 5 {
+			t.Errorf("item %d: %d replicas, want 5", i, v)
+		}
+	}
+	// Remainder case: 7 items, budget 10 → 3 items with 2, 4 with 1.
+	c = Uniform(7, 5, 2)
+	if c.Total() != 10 {
+		t.Errorf("total %d, want 10", c.Total())
+	}
+	if c[0] != 2 || c[1] != 2 || c[2] != 2 || c[3] != 1 {
+		t.Errorf("remainder distribution wrong: %v", c)
+	}
+}
+
+func TestUniformCapped(t *testing.T) {
+	// 2 items, 10 servers, rho 10 → budget 100, but cap is 10 per item.
+	c := Uniform(2, 10, 10)
+	for i, v := range c {
+		if v != 10 {
+			t.Errorf("item %d: %d, want cap 10", i, v)
+		}
+	}
+}
+
+func TestWeightedProportions(t *testing.T) {
+	c := Weighted([]float64{4, 2, 1, 1}, 100, 2) // budget 200
+	if c.Total() != 200 {
+		t.Fatalf("total %d, want 200", c.Total())
+	}
+	if c[0] != 100 {
+		t.Errorf("dominant item got %d, want exactly 100 (= 200·4/8)", c[0])
+	}
+	if c[1] != 50 || c[2] != 25 || c[3] != 25 {
+		t.Errorf("allocation %v, want [100 50 25 25]", c)
+	}
+}
+
+func TestWeightedCapSpills(t *testing.T) {
+	// One overwhelming weight must cap at the server count and spill the
+	// rest to the other items.
+	c := Weighted([]float64{1000, 1, 1}, 10, 2) // budget 20, cap 10
+	if c[0] != 10 {
+		t.Errorf("capped item got %d, want 10", c[0])
+	}
+	if c.Total() != 20 {
+		t.Errorf("total %d, want 20", c.Total())
+	}
+	if c[1]+c[2] != 10 {
+		t.Errorf("spill %v", c)
+	}
+}
+
+func TestWeightedZeroWeightsFallsBackToUniform(t *testing.T) {
+	c := Weighted([]float64{0, 0, 0}, 3, 1)
+	if c.Total() != 3 {
+		t.Errorf("total %d, want 3", c.Total())
+	}
+}
+
+func TestWeightedSpillToZeroWeightItems(t *testing.T) {
+	// Positive-weight items saturate; leftovers go to zero-weight items.
+	c := Weighted([]float64{1, 0, 0}, 4, 3) // budget 12, cap 4
+	if c[0] != 4 {
+		t.Errorf("c[0]=%d, want 4", c[0])
+	}
+	if c.Total() != 12 {
+		t.Errorf("total %d, want 12", c.Total())
+	}
+}
+
+func TestSqrtProp(t *testing.T) {
+	d := []float64{16, 4, 1, 1}
+	s := Sqrt(d, 100, 1) // weights 4,2,1,1 → budget 100
+	if s[0] != 50 || s[1] != 25 {
+		t.Errorf("sqrt %v, want [50 25 ...]", s)
+	}
+	// Exact share of item 0 would be 220·16/22 = 160 > cap 110: it caps
+	// and the freed budget is re-apportioned 4:1:1 over the rest.
+	p := Prop(d, 110, 2)
+	if p[0] != 110 {
+		t.Errorf("prop head %d, want cap 110: %v", p[0], p)
+	}
+	if p.Total() != 220 {
+		t.Errorf("prop total %d, want 220: %v", p.Total(), p)
+	}
+	if p[1] <= p[2] || p[2] != p[3] {
+		t.Errorf("prop tail ordering wrong: %v", p)
+	}
+}
+
+func TestDom(t *testing.T) {
+	d := []float64{5, 1, 9, 3}
+	c := Dom(d, 7, 2)
+	if c[2] != 7 || c[0] != 7 {
+		t.Errorf("DOM should fill top-2 items (2 and 0): %v", c)
+	}
+	if c[1] != 0 || c[3] != 0 {
+		t.Errorf("DOM gave replicas to non-top items: %v", c)
+	}
+	if err := c.Validate(7, 2); err != nil {
+		t.Errorf("DOM infeasible: %v", err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Counts{3, 2}).Validate(2, 2); err == nil {
+		t.Error("per-item cap violation accepted")
+	}
+	if err := (Counts{2, 2, 1}).Validate(2, 2); err == nil {
+		t.Error("capacity violation accepted")
+	}
+	if err := (Counts{-1}).Validate(2, 2); err == nil {
+		t.Error("negative count accepted")
+	}
+	if err := (Counts{2, 2}).Validate(2, 2); err != nil {
+		t.Errorf("valid allocation rejected: %v", err)
+	}
+}
+
+func TestPlaceBasic(t *testing.T) {
+	c := Counts{3, 2, 1}
+	p, err := Place(c, 3, 2)
+	if err != nil {
+		t.Fatalf("Place: %v", err)
+	}
+	got := p.Counts()
+	for i := range c {
+		if got[i] != c[i] {
+			t.Errorf("item %d placed %d, want %d", i, got[i], c[i])
+		}
+	}
+	for m := 0; m < 3; m++ {
+		if p.Load(m) > 2 {
+			t.Errorf("server %d overloaded: %d", m, p.Load(m))
+		}
+	}
+	// No duplicate copies per server by construction of Placement.Set.
+}
+
+func TestPlaceTightFeasible(t *testing.T) {
+	// The adversarial case: counts exactly fill capacity with mixed sizes.
+	c := Counts{2, 2, 2}
+	p, err := Place(c, 3, 2)
+	if err != nil {
+		t.Fatalf("Place: %v", err)
+	}
+	for m := 0; m < 3; m++ {
+		if p.Load(m) != 2 {
+			t.Errorf("server %d load %d, want 2", m, p.Load(m))
+		}
+	}
+}
+
+func TestPlaceRejectsInfeasible(t *testing.T) {
+	if _, err := Place(Counts{4}, 3, 2); err == nil {
+		t.Error("count above server cap accepted")
+	}
+	if _, err := Place(Counts{3, 3, 3}, 3, 2); err == nil {
+		t.Error("budget overflow accepted")
+	}
+}
+
+func TestPlacementSetErrors(t *testing.T) {
+	p := NewPlacement(2, 2, 1)
+	if err := p.Set(0, 0, true); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	if err := p.Set(0, 0, true); err == nil {
+		t.Error("double placement accepted")
+	}
+	if err := p.Set(1, 0, true); err == nil {
+		t.Error("over-capacity placement accepted")
+	}
+	if err := p.Set(0, 0, false); err != nil {
+		t.Fatalf("removal failed: %v", err)
+	}
+	if err := p.Set(0, 0, false); err == nil {
+		t.Error("double removal accepted")
+	}
+}
+
+// Property: any feasible random integer allocation can be placed, and the
+// placement reproduces its counts exactly with no server over capacity.
+func TestPlaceFeasibleProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 99))
+		servers := 2 + rng.IntN(10)
+		rho := 1 + rng.IntN(5)
+		items := 1 + rng.IntN(20)
+		budget := servers * rho
+		c := make(Counts, items)
+		// Fill the budget greedily with random feasible increments.
+		for budget > 0 {
+			i := rng.IntN(items)
+			if c[i] < servers {
+				c[i]++
+				budget--
+			} else {
+				// Find any non-full item; if none, stop.
+				found := false
+				for j := range c {
+					if c[j] < servers {
+						c[j]++
+						budget--
+						found = true
+						break
+					}
+				}
+				if !found {
+					break
+				}
+			}
+		}
+		p, err := Place(c, servers, rho)
+		if err != nil {
+			return false
+		}
+		got := p.Counts()
+		for i := range c {
+			if got[i] != c[i] {
+				return false
+			}
+		}
+		for m := 0; m < servers; m++ {
+			if p.Load(m) > rho {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: all heuristic allocations are feasible and exhaust the budget
+// when the catalog is large enough.
+func TestHeuristicsFeasibleProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 7))
+		servers := 2 + rng.IntN(20)
+		rho := 1 + rng.IntN(6)
+		items := rho + rng.IntN(50) // items ≥ rho so DOM is feasible
+		d := make([]float64, items)
+		for i := range d {
+			d[i] = rng.Float64()*10 + 0.01
+		}
+		budget := servers * rho
+		for _, c := range []Counts{
+			Uniform(items, servers, rho),
+			Sqrt(d, servers, rho),
+			Prop(d, servers, rho),
+			Dom(d, servers, rho),
+		} {
+			if err := c.Validate(servers, rho); err != nil {
+				return false
+			}
+			if items*servers >= budget && c.Total() != budget {
+				return false
+			}
+			if _, err := Place(c, servers, rho); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

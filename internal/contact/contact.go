@@ -1,0 +1,125 @@
+// Package contact generates synthetic contact traces from memoryless
+// contact models: the continuous-time model (pairwise Poisson processes
+// with intensities µ_{m,n}, Section 3.4) and the discrete-time model
+// (independent Bernoulli(µ_{m,n}·δ) meetings per slot). Both models emit
+// ordinary trace.Trace values, so the simulator treats synthetic and
+// measured mobility identically.
+package contact
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"impatience/internal/trace"
+)
+
+// Generate draws a continuous-time trace of the given duration from the
+// rate matrix: the superposition of all pairwise Poisson processes, which
+// is itself Poisson with the total rate, with each event assigned to a
+// pair proportionally to its intensity.
+func Generate(rm *trace.RateMatrix, duration float64, rng *rand.Rand) (*trace.Trace, error) {
+	if duration <= 0 {
+		return nil, fmt.Errorf("contact: duration %g not positive", duration)
+	}
+	total := rm.TotalRate()
+	tr := &trace.Trace{Nodes: rm.Nodes, Duration: duration}
+	if total <= 0 {
+		return tr, nil
+	}
+	// Cumulative distribution over pair indices for event assignment.
+	rates := rm.Rates()
+	cum := make([]float64, len(rates))
+	run := 0.0
+	for i, r := range rates {
+		run += r
+		cum[i] = run / total
+	}
+	cum[len(cum)-1] = 1
+	// Precompute the pair (a,b) for each dense pair index.
+	pairA := make([]int, len(rates))
+	pairB := make([]int, len(rates))
+	for a := 0; a < rm.Nodes; a++ {
+		for b := a + 1; b < rm.Nodes; b++ {
+			idx := trace.PairIndex(rm.Nodes, a, b)
+			pairA[idx], pairB[idx] = a, b
+		}
+	}
+	t := 0.0
+	for {
+		t += rng.ExpFloat64() / total
+		if t > duration {
+			break
+		}
+		idx := searchCDF(cum, rng.Float64())
+		tr.Contacts = append(tr.Contacts, trace.Contact{T: t, A: pairA[idx], B: pairB[idx]})
+	}
+	return tr, nil
+}
+
+// GenerateHomogeneous draws a continuous-time trace where every pair
+// meets at rate mu — the paper's homogeneous contact setting.
+func GenerateHomogeneous(nodes int, mu, duration float64, rng *rand.Rand) (*trace.Trace, error) {
+	return Generate(trace.UniformRates(nodes, mu), duration, rng)
+}
+
+// GenerateDiscrete draws a discrete-time trace: time advances in slots of
+// length delta and each pair meets in each slot independently with
+// probability µ_{m,n}·δ (capped at 1). Contacts are stamped at the end of
+// their slot. This realizes the paper's discrete-time contact model.
+func GenerateDiscrete(rm *trace.RateMatrix, duration, delta float64, rng *rand.Rand) (*trace.Trace, error) {
+	if duration <= 0 || delta <= 0 {
+		return nil, fmt.Errorf("contact: invalid duration %g / delta %g", duration, delta)
+	}
+	tr := &trace.Trace{Nodes: rm.Nodes, Duration: duration}
+	rates := rm.Rates()
+	probs := make([]float64, len(rates))
+	any := false
+	for i, r := range rates {
+		p := r * delta
+		if p > 1 {
+			p = 1
+		}
+		probs[i] = p
+		if p > 0 {
+			any = true
+		}
+	}
+	if !any {
+		return tr, nil
+	}
+	pairA := make([]int, len(rates))
+	pairB := make([]int, len(rates))
+	for a := 0; a < rm.Nodes; a++ {
+		for b := a + 1; b < rm.Nodes; b++ {
+			idx := trace.PairIndex(rm.Nodes, a, b)
+			pairA[idx], pairB[idx] = a, b
+		}
+	}
+	slots := int(duration / delta)
+	for s := 1; s <= slots; s++ {
+		t := float64(s) * delta
+		if t > duration {
+			break
+		}
+		for idx, p := range probs {
+			if p > 0 && rng.Float64() < p {
+				tr.Contacts = append(tr.Contacts, trace.Contact{T: t, A: pairA[idx], B: pairB[idx]})
+			}
+		}
+	}
+	return tr, nil
+}
+
+// searchCDF returns the smallest index i with cdf[i] >= u.
+func searchCDF(cdf []float64, u float64) int {
+	lo, hi := 0, len(cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// randomCache builds a fakeCache with arbitrary holdings.
+func randomCache(rng *rand.Rand, nodes, items int) *fakeCache {
+	c := newFakeCache(nodes, items)
+	for n := 0; n < nodes; n++ {
+		for i := 0; i < items; i++ {
+			if rng.Float64() < 0.3 {
+				c.has[[2]int{n, i}] = true
+			}
+		}
+	}
+	for i := 0; i < items; i++ {
+		if rng.Float64() < 0.5 {
+			c.sticky[i] = rng.IntN(nodes)
+		}
+	}
+	return c
+}
+
+// Property: a meeting never *creates* mandates; it consumes at most one
+// per item (execution or rewriting) and only moves the rest between the
+// two nodes involved.
+func TestMeetingMandateConservationProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		const (
+			nodes = 6
+			items = 4
+		)
+		c := randomCache(rng, nodes, items)
+		q := &QCR{
+			Reaction:       PathReplication(1),
+			MandateRouting: rng.IntN(2) == 0,
+			Rewriting:      rng.IntN(2) == 0,
+			Seed:           seed,
+		}
+		q.Init(c)
+		// Seed random mandates.
+		for n := 0; n < nodes; n++ {
+			for i := 0; i < items; i++ {
+				if rng.Float64() < 0.4 {
+					q.mandates[n][i] = rng.IntN(5) + 1
+				}
+			}
+		}
+		before := make([]int, items)
+		for i := 0; i < items; i++ {
+			before[i] = q.MandatesFor(i)
+		}
+		othersBefore := make(map[[2]int]int)
+		a, b := rng.IntN(nodes), (rng.IntN(nodes-1)+1+rng.IntN(nodes))%nodes
+		if a == b {
+			b = (a + 1) % nodes
+		}
+		for n := 0; n < nodes; n++ {
+			if n == a || n == b {
+				continue
+			}
+			for i := 0; i < items; i++ {
+				othersBefore[[2]int{n, i}] = q.mandates[n][i]
+			}
+		}
+		writesBefore := len(c.writes)
+		q.OnMeeting(c, a, b, 1.0)
+		for i := 0; i < items; i++ {
+			after := q.MandatesFor(i)
+			if after > before[i] {
+				return false // mandates created from nothing
+			}
+			if before[i]-after > 1 {
+				return false // more than one consumed per item per meeting
+			}
+		}
+		// Consumption must be backed by a write (or rewriting).
+		executed := len(c.writes) - writesBefore
+		var consumed int
+		for i := 0; i < items; i++ {
+			consumed += before[i] - q.MandatesFor(i)
+		}
+		if !q.Rewriting && consumed != executed {
+			return false
+		}
+		if consumed < executed {
+			return false
+		}
+		// Third parties' mandates are untouched.
+		for n := 0; n < nodes; n++ {
+			if n == a || n == b {
+				continue
+			}
+			for i := 0; i < items; i++ {
+				if q.mandates[n][i] != othersBefore[[2]int{n, i}] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: without routing, mandates never move between nodes — each
+// node's count per item can only stay or decrease by the executed one.
+func TestNoRoutingNeverMovesProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 2))
+		c := randomCache(rng, 4, 3)
+		q := &QCR{Reaction: PathReplication(1), MandateRouting: false, Seed: seed}
+		q.Init(c)
+		for n := 0; n < 4; n++ {
+			for i := 0; i < 3; i++ {
+				q.mandates[n][i] = rng.IntN(4)
+			}
+		}
+		beforeA := make(map[int]int)
+		beforeB := make(map[int]int)
+		for i := 0; i < 3; i++ {
+			beforeA[i] = q.mandates[0][i]
+			beforeB[i] = q.mandates[1][i]
+		}
+		q.OnMeeting(c, 0, 1, 1)
+		for i := 0; i < 3; i++ {
+			da := beforeA[i] - q.mandates[0][i]
+			db := beforeB[i] - q.mandates[1][i]
+			if da < 0 || db < 0 {
+				return false // gained mandates without routing
+			}
+			if da+db > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Determinism: identical seeds and meeting sequences produce identical
+// mandate states.
+func TestQCRDeterministicSequence(t *testing.T) {
+	runOnce := func() map[int]int {
+		rng := rand.New(rand.NewPCG(9, 9))
+		c := randomCache(rng, 5, 4)
+		q := &QCR{Reaction: PathReplication(1.5), MandateRouting: true, Seed: 42}
+		q.Init(c)
+		for step := 0; step < 200; step++ {
+			q.OnFulfill(c, step%5, (step+1)%5, step%4, step%7+1, 1, float64(step))
+			q.OnMeeting(c, step%5, (step+2)%5, float64(step))
+		}
+		out := make(map[int]int)
+		for i := 0; i < 4; i++ {
+			out[i] = q.MandatesFor(i)
+		}
+		return out
+	}
+	a, b := runOnce(), runOnce()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("item %d: %d vs %d mandates", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,381 @@
+// Package core implements the paper's primary contribution: Query
+// Counting Replication (QCR) with Mandate Routing (Section 5).
+//
+// QCR is a reactive, fully local replication protocol. Each outstanding
+// request keeps a query counter incremented at every meeting; when the
+// request is finally fulfilled the counter value y — whose expectation is
+// |S|/x_i, a free local estimate of the item's replica scarcity — is fed
+// to a reaction function ψ and ⌈ψ(y)⌉-ish replicas of the item are
+// scheduled for creation. Because replicas cannot be minted on the spot
+// in an opportunistic network, the schedule takes the form of replication
+// mandates that execute (copy the item onto a node lacking it, evicting a
+// random cache slot) when meetings allow, and that are routed toward
+// nodes holding the item so they do not starve (Section 5.3). With ψ
+// tuned per Property 2 to the population's delay-utility, the protocol's
+// steady state is the optimal cache allocation.
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"impatience/internal/utility"
+)
+
+// Cache is the view of the global distributed cache a replication policy
+// acts through. It is implemented by the simulator's state.
+type Cache interface {
+	// Nodes and Items return the population and catalog sizes.
+	Nodes() int
+	Items() int
+	// Has reports whether node's cache holds item.
+	Has(node, item int) bool
+	// Write inserts item into node's cache, evicting a uniformly random
+	// non-sticky slot. It reports false when the write is impossible
+	// (node already holds the item, or all its slots are pinned).
+	Write(node, item int) bool
+	// StickyNode returns the node holding item's pinned replica, or -1.
+	StickyNode(item int) int
+}
+
+// Policy decides replication. The simulator invokes OnFulfill once per
+// fulfilled request and OnMeeting once per meeting (after fulfillments).
+type Policy interface {
+	Name() string
+	// Init is called once before the simulation starts.
+	Init(c Cache)
+	// OnFulfill reports that node's request for item, whose query counter
+	// reached queries, was fulfilled by peer at time now after waiting
+	// age time units (0 for immediate local fulfillment).
+	OnFulfill(c Cache, node, peer, item, queries int, age, now float64)
+	// OnMeeting is invoked for every meeting of a and b at time now.
+	OnMeeting(c Cache, a, b int, now float64)
+}
+
+// Static is the no-op policy used for the fixed-allocation competitors
+// (OPT, UNI, SQRT, PROP, DOM): the cache is set up once by an oracle with
+// a perfect control channel and never changes.
+type Static struct{ Label string }
+
+// Name implements Policy.
+func (s Static) Name() string {
+	if s.Label == "" {
+		return "static"
+	}
+	return s.Label
+}
+
+// Init implements Policy.
+func (Static) Init(Cache) {}
+
+// OnFulfill implements Policy.
+func (Static) OnFulfill(Cache, int, int, int, int, float64, float64) {}
+
+// OnMeeting implements Policy.
+func (Static) OnMeeting(Cache, int, int, float64) {}
+
+// ReactionFunc maps a final query-counter value to the (real-valued)
+// number of replicas to create for the fulfilled item.
+type ReactionFunc func(queries int) float64
+
+// TunedReaction builds the Property-2 reaction function for delay-utility
+// f under contact rate mu and server count servers: ψ(y) ∝ (S/y)·ϕ(S/y).
+// scale sets the proportionality constant (1 is a reasonable default; it
+// affects convergence speed and replication traffic, not the fixed
+// point). The counter value 0 (immediate fulfillment) maps to 0.
+func TunedReaction(f utility.Function, mu float64, servers int, scale float64) ReactionFunc {
+	if scale <= 0 {
+		scale = 1
+	}
+	S := float64(servers)
+	return func(queries int) float64 {
+		if queries <= 0 {
+			return 0
+		}
+		return scale * utility.Psi(f, mu, S, float64(queries))
+	}
+}
+
+// TunedReactions builds the per-item Property-2 reaction for a catalog
+// whose items follow different delay-utilities; nil entries fall back to
+// fallback (which may itself be nil when every entry is set).
+func TunedReactions(fs []utility.Function, fallback utility.Function, mu float64, servers int, scale float64) func(item, queries int) float64 {
+	if scale <= 0 {
+		scale = 1
+	}
+	S := float64(servers)
+	return func(item, queries int) float64 {
+		if queries <= 0 {
+			return 0
+		}
+		f := fallback
+		if item < len(fs) && fs[item] != nil {
+			f = fs[item]
+		}
+		if f == nil {
+			return 0
+		}
+		return scale * utility.Psi(f, mu, S, float64(queries))
+	}
+}
+
+// PathReplication is the classical ψ(y) = scale·y reaction of Cohen &
+// Shenker, whose equilibrium is the square-root allocation; provided as a
+// baseline reaction.
+func PathReplication(scale float64) ReactionFunc {
+	if scale <= 0 {
+		scale = 1
+	}
+	return func(queries int) float64 {
+		if queries <= 0 {
+			return 0
+		}
+		return scale * float64(queries)
+	}
+}
+
+// ConstantReaction is ψ(y) = c, the passive replication that converges to
+// the proportional allocation (optimal only for neg-log impatience).
+func ConstantReaction(c float64) ReactionFunc {
+	return func(queries int) float64 {
+		if queries <= 0 {
+			return 0
+		}
+		return c
+	}
+}
+
+// QCR is the Query Counting Replication policy.
+type QCR struct {
+	// Reaction maps query-counter values to replica budgets. Required
+	// unless PerItemReaction is set.
+	Reaction ReactionFunc
+	// PerItemReaction, when non-nil, overrides Reaction with a per-item
+	// reaction function — the tuning for catalogs whose items follow
+	// different delay-utilities (Section 3.2). See TunedReactions.
+	PerItemReaction func(item, queries int) float64
+	// MandateRouting moves mandates toward nodes holding the item
+	// (Section 5.3). Disabling it reproduces the divergence pathology of
+	// Figure 3 ("QCRWOM").
+	MandateRouting bool
+	// Rewriting consumes a mandate when both meeting nodes already hold
+	// the item (Section 5.1, "replication with rewriting"). The paper's
+	// evaluation keeps this off.
+	Rewriting bool
+	// StrictSource requires the mandate-holding node itself to possess
+	// the item for a mandate to execute (Section 5.1's "transmit them
+	// proactively": the replicator sources the copy). This is what makes
+	// mandate routing essential — without routing, mandates stranded on
+	// nodes that lost (or never had) the item stall indefinitely and the
+	// allocation diverges (the Figure 3 pathology). With StrictSource
+	// off, a mandate may also execute by pulling the copy from the peer
+	// onto its own node, a more forgiving variant.
+	StrictSource bool
+	// MaxMandates caps the mandates created per fulfillment (0 = no cap).
+	// Steep reaction functions (power utilities with α ≪ 1 have
+	// ψ(y) ∝ y^{1-α}) occasionally meet a very large query counter and
+	// emit replica bursts comparable to the whole global cache; the
+	// resulting allocation variance hurts the concave welfare far more
+	// than the clipped tail helps the equilibrium. A cap of about half
+	// the server count preserves the fixed point in the common-counter
+	// regime while taming the tail.
+	MaxMandates int
+	// Seed makes the policy's randomized rounding and odd-mandate splits
+	// deterministic.
+	Seed uint64
+
+	rng      *rand.Rand
+	mandates []map[int]int // per node: item → pending mandate count
+	moved    int           // mandates that changed nodes (routing traffic)
+}
+
+// Name implements Policy.
+func (q *QCR) Name() string {
+	if q.MandateRouting {
+		return "qcr"
+	}
+	return "qcr-no-routing"
+}
+
+// Init implements Policy.
+func (q *QCR) Init(c Cache) {
+	q.rng = rand.New(rand.NewPCG(q.Seed, q.Seed^0x51ce5ca1ab1e))
+	q.mandates = make([]map[int]int, c.Nodes())
+	for i := range q.mandates {
+		q.mandates[i] = make(map[int]int)
+	}
+}
+
+// TotalMandates returns the number of pending mandates across all nodes,
+// the divergence indicator of Figure 3.
+func (q *QCR) TotalMandates() int {
+	var sum int
+	for _, m := range q.mandates {
+		for _, v := range m {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// MandatesMoved returns the cumulative number of mandates transferred
+// between nodes by mandate routing — the protocol's control overhead
+// beyond content transfers (mandates are tiny, but we account for them).
+func (q *QCR) MandatesMoved() int { return q.moved }
+
+// MandatesFor returns pending mandates for one item across all nodes.
+func (q *QCR) MandatesFor(item int) int {
+	var sum int
+	for _, m := range q.mandates {
+		sum += m[item]
+	}
+	return sum
+}
+
+// OnFulfill implements Policy: convert the query count into mandates via
+// the reaction function with randomized rounding (preserving E[replicas]
+// = ψ(y), which the steady-state analysis of Section 5.2 relies on).
+func (q *QCR) OnFulfill(c Cache, node, peer, item, queries int, age, now float64) {
+	var r float64
+	if q.PerItemReaction != nil {
+		r = q.PerItemReaction(item, queries)
+	} else {
+		r = q.Reaction(queries)
+	}
+	if r <= 0 || math.IsNaN(r) {
+		return
+	}
+	if q.MaxMandates > 0 && r > float64(q.MaxMandates) {
+		r = float64(q.MaxMandates)
+	}
+	k := int(math.Floor(r))
+	if q.rng.Float64() < r-math.Floor(r) {
+		k++
+	}
+	if k > 0 {
+		q.mandates[node][item] += k
+	}
+}
+
+// OnMeeting implements Policy: execute at most one mandate per item
+// (creating a replica on whichever of the two nodes lacks the item), then
+// route the remainder.
+func (q *QCR) OnMeeting(c Cache, a, b int, now float64) {
+	ma, mb := q.mandates[a], q.mandates[b]
+	if len(ma) == 0 && len(mb) == 0 {
+		return
+	}
+	// Collect the union of items with pending mandates on either side, in
+	// sorted order: map iteration order is randomized and would make runs
+	// irreproducible.
+	items := make([]int, 0, len(ma)+len(mb))
+	for i := range ma {
+		items = append(items, i)
+	}
+	for i := range mb {
+		if _, dup := ma[i]; !dup {
+			items = append(items, i)
+		}
+	}
+	sort.Ints(items)
+	for _, item := range items {
+		na, nb := ma[item], mb[item] // working per-side counts
+		if na+nb == 0 {
+			continue
+		}
+		hasA, hasB := c.Has(a, item), c.Has(b, item)
+		switch {
+		case hasA && hasB:
+			if q.Rewriting {
+				// A (vacuous) replication consumes one mandate.
+				if na >= nb && na > 0 {
+					na--
+				} else if nb > 0 {
+					nb--
+				}
+			}
+		case hasA && !hasB:
+			// The copy flows a → b. Under StrictSource only a's own
+			// mandates can drive it; otherwise either side's can (the
+			// holder's pile is consumed first when available).
+			if q.StrictSource {
+				if na > 0 && c.Write(b, item) {
+					na--
+					hasB = true
+				}
+			} else if c.Write(b, item) {
+				if na > 0 {
+					na--
+				} else {
+					nb--
+				}
+				hasB = true
+			}
+		case !hasA && hasB:
+			if q.StrictSource {
+				if nb > 0 && c.Write(a, item) {
+					nb--
+					hasA = true
+				}
+			} else if c.Write(a, item) {
+				if nb > 0 {
+					nb--
+				} else {
+					na--
+				}
+				hasA = true
+			}
+		}
+		if q.MandateRouting {
+			na, nb = q.route(c, a, b, item, na+nb, hasA, hasB)
+		}
+		// Any increase relative to the pre-meeting pile crossed over.
+		if gain := na - ma[item]; gain > 0 {
+			q.moved += gain
+		}
+		if gain := nb - mb[item]; gain > 0 {
+			q.moved += gain
+		}
+		setOrDelete(ma, item, na)
+		setOrDelete(mb, item, nb)
+	}
+}
+
+// route redistributes an item's surviving mandates between the two
+// meeting nodes (Section 6.1): all to a sole holder, ceil(2/3) to the
+// item's sticky node when both hold it, an even split otherwise.
+func (q *QCR) route(c Cache, a, b, item, total int, hasA, hasB bool) (na, nb int) {
+	if total == 0 {
+		return 0, 0
+	}
+	sticky := c.StickyNode(item)
+	switch {
+	case hasA && !hasB:
+		return total, 0
+	case hasB && !hasA:
+		return 0, total
+	case sticky == a && hasA && hasB:
+		na = (2*total + 2) / 3 // ceil(2/3·total)
+		return na, total - na
+	case sticky == b && hasA && hasB:
+		nb = (2*total + 2) / 3
+		return total - nb, nb
+	default:
+		// Both or neither hold the item: split evenly, odd one at random.
+		na = total / 2
+		nb = total - na
+		if na != nb && q.rng.IntN(2) == 0 {
+			na, nb = nb, na
+		}
+		return na, nb
+	}
+}
+
+func setOrDelete(m map[int]int, item, v int) {
+	if v <= 0 {
+		delete(m, item)
+	} else {
+		m[item] = v
+	}
+}

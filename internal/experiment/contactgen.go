@@ -1,0 +1,15 @@
+package experiment
+
+import (
+	"math/rand/v2"
+
+	"impatience/internal/contact"
+	"impatience/internal/trace"
+)
+
+// contactGen is a seam for the homogeneous trace generator (kept separate
+// so tests can exercise Scenario wiring without pulling in the full
+// contact package surface).
+func contactGen(nodes int, mu, duration float64, rng *rand.Rand) (*trace.Trace, error) {
+	return contact.GenerateHomogeneous(nodes, mu, duration, rng)
+}

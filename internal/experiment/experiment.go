@@ -1,0 +1,302 @@
+// Package experiment contains the evaluation harness: one runner per
+// table and figure of the paper, shared by the cmd/agefigures CLI and the
+// repository's benchmarks. Each runner plays the relevant simulations (or
+// analytic computations) and returns plot.Tables whose rows/series mirror
+// what the paper reports.
+package experiment
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"impatience/internal/alloc"
+	"impatience/internal/core"
+	"impatience/internal/demand"
+	"impatience/internal/sim"
+	"impatience/internal/stats"
+	"impatience/internal/synth"
+	"impatience/internal/trace"
+	"impatience/internal/utility"
+	"impatience/internal/welfare"
+)
+
+// Scenario bundles the simulation parameters shared by the evaluation
+// (Section 6.1-6.2 defaults: 50 nodes, 50 items, ρ=5, Pareto ω=1 demand,
+// µ=0.05, ≥15 trials with 5%/95% bands).
+type Scenario struct {
+	Nodes      int
+	Items      int
+	Rho        int
+	Mu         float64 // homogeneous contact rate; also the ψ-tuning plug-in
+	Omega      float64 // Pareto popularity exponent
+	DemandRate float64 // aggregate requests per minute
+	Duration   float64 // minutes
+	Trials     int
+	Seed       uint64
+	// QCRScale is the fallback reaction-function proportionality constant,
+	// used when burst normalization cannot be computed.
+	QCRScale float64
+	// QCRBurst is the target mean replicas per fulfillment at the optimal
+	// allocation; the reaction scale is normalized per utility so this
+	// holds (welfare.ReactionScale). The QCR fixed point is scale-free;
+	// this only controls the convergence-speed/variance trade-off.
+	QCRBurst   float64
+	WarmupFrac float64
+}
+
+// Default returns the paper's evaluation scenario.
+func Default() Scenario {
+	return Scenario{
+		Nodes:      50,
+		Items:      50,
+		Rho:        5,
+		Mu:         0.05,
+		Omega:      1,
+		DemandRate: 2,
+		Duration:   5000,
+		Trials:     15,
+		Seed:       1,
+		QCRScale:   0.1,
+		QCRBurst:   0.05,
+		WarmupFrac: 0.3,
+	}
+}
+
+// Scaled returns a cheaper copy for benchmarks and smoke tests: trials
+// and duration shrink by the given factors (minimum 1 trial).
+func (sc Scenario) Scaled(trialFrac, durFrac float64) Scenario {
+	out := sc
+	out.Trials = int(float64(sc.Trials) * trialFrac)
+	if out.Trials < 1 {
+		out.Trials = 1
+	}
+	out.Duration = sc.Duration * durFrac
+	return out
+}
+
+// Pop returns the scenario's popularity distribution.
+func (sc Scenario) Pop() demand.Popularity {
+	return demand.Pareto(sc.Items, sc.Omega, sc.DemandRate)
+}
+
+// TraceGen produces the contact trace for one trial. Implementations must
+// be deterministic in the seed.
+type TraceGen func(seed uint64) (*trace.Trace, error)
+
+// HomogeneousTraces generates memoryless homogeneous contacts (§6.2).
+func (sc Scenario) HomogeneousTraces() TraceGen {
+	return func(seed uint64) (*trace.Trace, error) {
+		rng := rand.New(rand.NewPCG(seed, seed^0xabcdef))
+		return contactGen(sc.Nodes, sc.Mu, sc.Duration, rng)
+	}
+}
+
+// ConferenceTraces generates Infocom'06-like traces (§6.3). The scenario
+// duration is overridden by the trace's three days.
+func ConferenceTraces(cfg synth.ConferenceConfig) TraceGen {
+	return func(seed uint64) (*trace.Trace, error) {
+		return synth.Conference(cfg, rand.New(rand.NewPCG(seed, seed*31+7)))
+	}
+}
+
+// VehicularTraces generates Cabspotting-like traces (§6.3).
+func VehicularTraces(cfg synth.VehicularConfig) TraceGen {
+	return func(seed uint64) (*trace.Trace, error) {
+		return synth.Vehicular(cfg, rand.New(rand.NewPCG(seed, seed*17+3)))
+	}
+}
+
+// MemorylessOf wraps a generator, replacing each trace by its memoryless
+// counterpart (same pairwise rates, Poisson times — Figure 5c).
+func MemorylessOf(gen TraceGen) TraceGen {
+	return func(seed uint64) (*trace.Trace, error) {
+		tr, err := gen(seed)
+		if err != nil {
+			return nil, err
+		}
+		return synth.Memoryless(tr, rand.New(rand.NewPCG(seed^0x5151, seed+13)))
+	}
+}
+
+// Scheme names, in the paper's order.
+const (
+	SchemeQCR    = "QCR"
+	SchemeQCRWOM = "QCRWOM" // QCR without mandate routing
+	SchemeOPT    = "OPT"
+	SchemeUNI    = "UNI"
+	SchemeSQRT   = "SQRT"
+	SchemePROP   = "PROP"
+	SchemeDOM    = "DOM"
+)
+
+// AllCompetitors is the fixed-allocation competitor set of Section 6.1.
+var AllCompetitors = []string{SchemeOPT, SchemeUNI, SchemeSQRT, SchemePROP, SchemeDOM}
+
+// buildStatic computes the fixed allocation for a named competitor given
+// the empirical rate matrix of the trial's trace. OPT uses the
+// heterogeneous submodular greedy under the memoryless approximation
+// (exact greedy in the homogeneous case); the others depend only on
+// demand.
+func buildStatic(sc Scenario, scheme string, u utility.Function, pop demand.Popularity, rates *trace.RateMatrix) (alloc.Counts, *alloc.Placement, error) {
+	switch scheme {
+	case SchemeUNI:
+		return alloc.Uniform(sc.Items, sc.Nodes, sc.Rho), nil, nil
+	case SchemeSQRT:
+		return alloc.Sqrt(pop.Rates, sc.Nodes, sc.Rho), nil, nil
+	case SchemePROP:
+		return alloc.Prop(pop.Rates, sc.Nodes, sc.Rho), nil, nil
+	case SchemeDOM:
+		return alloc.Dom(pop.Rates, sc.Nodes, sc.Rho), nil, nil
+	case SchemeOPT:
+		ids := make([]int, sc.Nodes)
+		for i := range ids {
+			ids[i] = i
+		}
+		het := welfare.Hetero{
+			Utility: u,
+			Pop:     pop,
+			Profile: demand.UniformProfile(sc.Items, sc.Nodes),
+			Rates:   rates,
+			Clients: ids,
+			Servers: ids,
+		}
+		p, err := het.GreedySubmodular(sc.Rho)
+		if err != nil {
+			return nil, nil, err
+		}
+		return p.Counts(), p, nil
+	default:
+		return nil, nil, fmt.Errorf("experiment: unknown scheme %q", scheme)
+	}
+}
+
+// qcrPolicy builds the tuned QCR policy for a trial: the Property-2
+// reaction with its scale normalized so the mean burst at the optimum is
+// sc.QCRBurst replicas per fulfillment, and a per-fulfillment mandate cap
+// of |S|/5 against heavy-tailed counter bursts.
+func (sc Scenario) qcrPolicy(u utility.Function, mu float64, routing bool, seed uint64) *core.QCR {
+	scale := sc.QCRScale
+	if sc.QCRBurst > 0 {
+		h := welfare.Homogeneous{
+			Utility: u, Pop: sc.Pop(), Mu: mu,
+			Servers: sc.Nodes, Clients: sc.Nodes,
+		}
+		if s, err := h.ReactionScale(sc.Rho, sc.QCRBurst); err == nil && s > 0 {
+			scale = s
+		}
+	}
+	cap := sc.Nodes / 10
+	if cap < 3 {
+		cap = 3
+	}
+	return &core.QCR{
+		Reaction:       core.TunedReaction(u, mu, sc.Nodes, scale),
+		MandateRouting: routing,
+		StrictSource:   true,
+		MaxMandates:    cap,
+		Seed:           seed,
+	}
+}
+
+// RunScheme runs one scheme for one trial on a given trace and returns
+// the simulation result. mu is the ψ plug-in rate (mean empirical rate
+// for heterogeneous traces).
+func (sc Scenario) RunScheme(scheme string, u utility.Function, tr *trace.Trace, rates *trace.RateMatrix, mu float64, trial uint64, series bool) (*sim.Result, error) {
+	pop := sc.Pop()
+	cfg := sim.Config{
+		Rho:        sc.Rho,
+		Utility:    u,
+		Pop:        pop,
+		Trace:      tr,
+		Seed:       sc.Seed*1_000_003 + trial*101,
+		WarmupFrac: sc.WarmupFrac,
+	}
+	if series {
+		cfg.BinWidth = sc.Duration / 100
+		cfg.RecordCounts = true
+	}
+	switch scheme {
+	case SchemeQCR, SchemeQCRWOM:
+		cfg.Policy = sc.qcrPolicy(u, mu, scheme == SchemeQCR, sc.Seed*7919+trial)
+	default:
+		counts, placement, err := buildStatic(sc, scheme, u, pop, rates)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Policy = core.Static{Label: scheme}
+		cfg.NoSticky = true
+		if placement != nil {
+			cfg.InitialPlacement = placement
+		} else {
+			cfg.Initial = counts
+		}
+	}
+	return sim.Run(cfg)
+}
+
+// Comparison is the outcome of running a scheme set over common trials.
+type Comparison struct {
+	Schemes []string
+	// Utility[s] aggregates the per-trial average utility rates.
+	Utility map[string]stats.Summary
+	// Loss[s] aggregates the per-trial normalized loss vs OPT in percent
+	// (Figures 4–6's y-axis). OPT's own loss is identically 0.
+	Loss map[string]stats.Summary
+}
+
+// RunComparison runs every scheme on the same per-trial traces and
+// aggregates utilities and losses vs OPT.
+func (sc Scenario) RunComparison(u utility.Function, gen TraceGen, schemes []string) (*Comparison, error) {
+	perScheme := make(map[string][]float64, len(schemes))
+	perLoss := make(map[string][]float64, len(schemes))
+	hasOPT := false
+	for _, s := range schemes {
+		if s == SchemeOPT {
+			hasOPT = true
+		}
+	}
+	for trial := 0; trial < sc.Trials; trial++ {
+		tr, err := gen(sc.Seed + uint64(trial)*997)
+		if err != nil {
+			return nil, err
+		}
+		if tr.Nodes != sc.Nodes {
+			return nil, fmt.Errorf("experiment: trace has %d nodes, scenario %d", tr.Nodes, sc.Nodes)
+		}
+		rates := trace.EmpiricalRates(tr)
+		mu := rates.Mean()
+		if mu <= 0 {
+			return nil, fmt.Errorf("experiment: empty trace in trial %d", trial)
+		}
+		var uOpt float64
+		results := make(map[string]float64, len(schemes))
+		for _, scheme := range schemes {
+			res, err := sc.RunScheme(scheme, u, tr, rates, mu, uint64(trial), false)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: %s trial %d: %w", scheme, trial, err)
+			}
+			results[scheme] = res.AvgUtilityRate
+			if scheme == SchemeOPT {
+				uOpt = res.AvgUtilityRate
+			}
+		}
+		for scheme, v := range results {
+			perScheme[scheme] = append(perScheme[scheme], v)
+			if hasOPT {
+				perLoss[scheme] = append(perLoss[scheme], stats.NormalizedLoss(v, uOpt))
+			}
+		}
+	}
+	cmp := &Comparison{
+		Schemes: append([]string(nil), schemes...),
+		Utility: make(map[string]stats.Summary, len(schemes)),
+		Loss:    make(map[string]stats.Summary, len(schemes)),
+	}
+	for _, s := range schemes {
+		cmp.Utility[s] = stats.Summarize(perScheme[s])
+		if hasOPT {
+			cmp.Loss[s] = stats.Summarize(perLoss[s])
+		}
+	}
+	return cmp, nil
+}

@@ -1,0 +1,195 @@
+package experiment
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"impatience/internal/synth"
+	"impatience/internal/trace"
+	"impatience/internal/utility"
+)
+
+type traceAlias = trace.Trace
+
+var errBoom = errors.New("boom")
+
+// micro returns the smallest scenario that still exercises the full
+// figure pipelines.
+func micro() Scenario {
+	sc := Default()
+	sc.Nodes = 12
+	sc.Items = 8
+	sc.Rho = 2
+	sc.Duration = 600
+	sc.Trials = 1
+	return sc
+}
+
+func microConf() synth.ConferenceConfig {
+	cfg := synth.DefaultConference()
+	cfg.Nodes = 12
+	cfg.Days = 1
+	return cfg
+}
+
+func microVeh() synth.VehicularConfig {
+	cfg := synth.DefaultVehicular()
+	cfg.Cabs = 12
+	cfg.DurationMin = 240
+	cfg.Width = 3000
+	cfg.Height = 3000
+	return cfg
+}
+
+func TestFigure3Pipeline(t *testing.T) {
+	tables, err := Figure3(micro())
+	if err != nil {
+		t.Fatalf("Figure3: %v", err)
+	}
+	if len(tables) != 5 {
+		t.Fatalf("got %d tables, want 5", len(tables))
+	}
+	// 3a: QCR's expected utility must end above QCRWOM's (the pathology).
+	expT := tables[0]
+	qcr, wom := expT.Columns[0].Y, expT.Columns[1].Y
+	last := len(expT.X) - 1
+	if qcr[last] < wom[last]-1e-9 {
+		t.Errorf("QCR %g ended below QCRWOM %g", qcr[last], wom[last])
+	}
+	// 3e: QCRWOM's pending mandates must exceed QCR's at the end
+	// (divergence under no routing).
+	manT := tables[4]
+	if manT.Columns[1].Y[last] <= manT.Columns[0].Y[last] {
+		t.Errorf("no-routing mandates %g not above routing %g",
+			manT.Columns[1].Y[last], manT.Columns[0].Y[last])
+	}
+}
+
+func TestFigure4Pipelines(t *testing.T) {
+	sc := micro()
+	tb, err := Figure4Power(sc, []float64{0, 0.5})
+	if err != nil {
+		t.Fatalf("Figure4Power: %v", err)
+	}
+	if len(tb.X) != 2 || len(tb.Columns) != 5 {
+		t.Errorf("power table shape %dx%d", len(tb.X), len(tb.Columns))
+	}
+	tb, err = Figure4Step(sc, []float64{10})
+	if err != nil {
+		t.Fatalf("Figure4Step: %v", err)
+	}
+	if len(tb.X) != 1 {
+		t.Errorf("step table shape %d", len(tb.X))
+	}
+}
+
+func TestFigure5Pipelines(t *testing.T) {
+	sc := micro()
+	tb, err := Figure5TimeSeries(sc, microConf(), 60)
+	if err != nil {
+		t.Fatalf("Figure5TimeSeries: %v", err)
+	}
+	if len(tb.Columns) != 6 {
+		t.Errorf("5a columns %d, want 6 schemes", len(tb.Columns))
+	}
+	for _, memoryless := range []bool{false, true} {
+		tb, err := Figure5Step(sc, microConf(), []float64{60}, memoryless)
+		if err != nil {
+			t.Fatalf("Figure5Step(memoryless=%v): %v", memoryless, err)
+		}
+		if len(tb.X) != 1 {
+			t.Errorf("5b/5c x size %d", len(tb.X))
+		}
+	}
+}
+
+func TestFigure6Pipelines(t *testing.T) {
+	sc := micro()
+	for _, panel := range []string{"power", "step", "exp"} {
+		var params []float64
+		switch panel {
+		case "power":
+			params = []float64{0}
+		case "step":
+			params = []float64{60}
+		case "exp":
+			params = []float64{0.01}
+		}
+		tb, err := Figure6(sc, microVeh(), panel, params)
+		if err != nil {
+			t.Fatalf("Figure6(%s): %v", panel, err)
+		}
+		if len(tb.X) != 1 {
+			t.Errorf("%s x size %d", panel, len(tb.X))
+		}
+	}
+	if _, err := Figure6(sc, microVeh(), "bogus", nil); err == nil {
+		t.Error("unknown panel accepted")
+	}
+}
+
+func TestAblationPipelines(t *testing.T) {
+	sc := micro()
+	if _, err := AblationCacheSize(sc, []int{2, 3}, utility.Step{Tau: 10}); err != nil {
+		t.Errorf("AblationCacheSize: %v", err)
+	}
+	if _, err := AblationPopularity(sc, []float64{0.5, 1.5}, utility.Step{Tau: 10}); err != nil {
+		t.Errorf("AblationPopularity: %v", err)
+	}
+	if _, err := AblationRewriting(sc, utility.Power{Alpha: 0}); err != nil {
+		t.Errorf("AblationRewriting: %v", err)
+	}
+	if _, err := DynamicDemand(sc, utility.Step{Tau: 10}); err != nil {
+		t.Errorf("DynamicDemand: %v", err)
+	}
+	if _, err := ReactionComparison(sc, utility.Power{Alpha: 0}); err != nil {
+		t.Errorf("ReactionComparison: %v", err)
+	}
+}
+
+func TestExtensionPipelines(t *testing.T) {
+	sc := micro()
+	tb, err := OverheadComparison(sc, utility.Power{Alpha: 0})
+	if err != nil {
+		t.Fatalf("OverheadComparison: %v", err)
+	}
+	if len(tb.X) != 3 {
+		t.Errorf("overhead rows %d", len(tb.X))
+	}
+	tb, err = MixedCatalog(sc)
+	if err != nil {
+		t.Fatalf("MixedCatalog: %v", err)
+	}
+	// Per-item tuned QCR should beat (or tie) the mis-tuned variant on
+	// average even at micro scale.
+	var tuned, mis float64
+	for i := range tb.X {
+		tuned += tb.Columns[0].Y[i]
+		mis += tb.Columns[1].Y[i]
+	}
+	if tuned < mis-0.5*math.Abs(mis) {
+		t.Errorf("per-item tuning much worse than mis-tuned: %g vs %g", tuned, mis)
+	}
+	if _, err := DedicatedKiosks(sc, 4); err != nil {
+		t.Errorf("DedicatedKiosks: %v", err)
+	}
+	if _, err := DedicatedKiosks(sc, 0); err == nil {
+		t.Error("0 servers accepted")
+	}
+	tb, err = AdaptiveImpatience(sc, 0.1)
+	if err != nil {
+		t.Fatalf("AdaptiveImpatience: %v", err)
+	}
+	if len(tb.Columns) != 4 {
+		t.Errorf("adaptive columns %d", len(tb.Columns))
+	}
+}
+
+func TestMemorylessOfPropagatesErrors(t *testing.T) {
+	boom := func(seed uint64) (*traceAlias, error) { return nil, errBoom }
+	gen := MemorylessOf(TraceGen(boom))
+	if _, err := gen(1); err == nil {
+		t.Error("generator error swallowed")
+	}
+}

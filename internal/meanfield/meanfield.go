@@ -1,0 +1,148 @@
+// Package meanfield integrates the replica-dynamics ODE of Section 5.2
+// (Eq. 7), the fluid limit of Query Counting Replication:
+//
+//	dx_i/dt = d_i·ψ(S/x_i) − x_i/(ρS) · Σ_j d_j·ψ(S/x_j)
+//
+// Creation (each fulfilled request for item i spawns ψ(counter) replicas,
+// with E[counter] = S/x_i) balances deletion (random cache replacement
+// erases item i proportionally to its share of the global cache). Its
+// stable fixed point satisfies the balance condition of Property 1 when ψ
+// is the Property-2 reaction function — this package exists to verify
+// that claim numerically and to support the convergence ablation.
+package meanfield
+
+import (
+	"fmt"
+	"math"
+
+	"impatience/internal/demand"
+	"impatience/internal/numeric"
+	"impatience/internal/utility"
+)
+
+// System describes the fluid-limit dynamics.
+type System struct {
+	Utility utility.Function
+	Pop     demand.Popularity
+	Mu      float64 // contact rate used to tune ψ
+	Servers int     // |S|
+	Rho     int     // per-server cache slots
+	// PsiScale multiplies the reaction function; it rescales time but not
+	// the fixed point. 1 by default.
+	PsiScale float64
+}
+
+// Validate reports structural errors.
+func (s System) Validate() error {
+	switch {
+	case s.Utility == nil:
+		return fmt.Errorf("meanfield: nil utility")
+	case s.Mu <= 0:
+		return fmt.Errorf("meanfield: µ=%g", s.Mu)
+	case s.Servers <= 0 || s.Rho <= 0:
+		return fmt.Errorf("meanfield: servers=%d rho=%d", s.Servers, s.Rho)
+	case s.Pop.Items() == 0:
+		return fmt.Errorf("meanfield: empty catalog")
+	}
+	return nil
+}
+
+func (s System) psiScale() float64 {
+	if s.PsiScale > 0 {
+		return s.PsiScale
+	}
+	return 1
+}
+
+// Derivs evaluates the right-hand side of Eq. 7. Replica counts are
+// clamped below at a small floor (the sticky replica of the simulator)
+// to keep ψ(S/x) finite.
+func (s System) Derivs(_ float64, x, dst []float64) {
+	S := float64(s.Servers)
+	cap := float64(s.Servers * s.Rho)
+	scale := s.psiScale()
+	var churn float64 // Σ_j d_j ψ(S/x_j)
+	creation := make([]float64, len(x))
+	for j, d := range s.Pop.Rates {
+		xj := math.Max(x[j], minReplicas)
+		c := d * scale * utility.Psi(s.Utility, s.Mu, S, S/xj)
+		creation[j] = c
+		churn += c
+	}
+	for i := range x {
+		xi := math.Max(x[i], minReplicas)
+		dst[i] = creation[i] - xi/cap*churn
+	}
+}
+
+// minReplicas is the sticky-replica floor of the fluid model.
+const minReplicas = 1e-3
+
+// Run integrates the dynamics from x0 for horizon time units with the
+// given step, returning the final state. The state is clamped to the
+// sticky-replica floor after every step: the fluid limit keeps x_i > 0
+// exactly, but a finite step can overshoot, and a negative replica count
+// is meaningless (and poisons downstream welfare evaluation).
+func (s System) Run(x0 []float64, horizon, step float64) ([]float64, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if len(x0) != s.Pop.Items() {
+		return nil, fmt.Errorf("meanfield: state has %d items, demand %d", len(x0), s.Pop.Items())
+	}
+	if step <= 0 || step > horizon {
+		step = horizon / 100
+	}
+	x := append([]float64(nil), x0...)
+	t := 0.0
+	for t < horizon {
+		h := math.Min(step, horizon-t)
+		x = numeric.RK4(s.Derivs, x, t, t+h, 1)
+		for i := range x {
+			if x[i] < minReplicas {
+				x[i] = minReplicas
+			}
+		}
+		t += h
+	}
+	return x, nil
+}
+
+// RunToSteadyState integrates until the relative derivative norm falls
+// below tol or the horizon is exhausted; it returns the state and whether
+// convergence was reached.
+func (s System) RunToSteadyState(x0 []float64, horizon, step, tol float64) ([]float64, bool, error) {
+	if err := s.Validate(); err != nil {
+		return nil, false, err
+	}
+	if len(x0) != s.Pop.Items() {
+		return nil, false, fmt.Errorf("meanfield: state has %d items, demand %d", len(x0), s.Pop.Items())
+	}
+	dst := make([]float64, len(x0))
+	converged := false
+	x, _ := numeric.RK4Until(s.Derivs, x0, 0, horizon, step, func(t float64, x []float64) bool {
+		s.Derivs(t, x, dst)
+		var dn, xn float64
+		for i := range dst {
+			dn += dst[i] * dst[i]
+			xn += x[i] * x[i]
+		}
+		if dn <= tol*tol*math.Max(xn, 1) {
+			converged = true
+			return true
+		}
+		return false
+	})
+	return x, converged, nil
+}
+
+// UniformStart returns the natural initial condition: the global cache
+// split evenly across the catalog.
+func (s System) UniformStart() []float64 {
+	x := make([]float64, s.Pop.Items())
+	per := float64(s.Servers*s.Rho) / float64(len(x))
+	for i := range x {
+		x[i] = per
+	}
+	return x
+}

@@ -1,0 +1,139 @@
+package meanfield
+
+import (
+	"math"
+	"testing"
+
+	"impatience/internal/demand"
+	"impatience/internal/utility"
+	"impatience/internal/welfare"
+)
+
+func sys(f utility.Function) System {
+	return System{
+		Utility: f,
+		Pop:     demand.Pareto(20, 1, 1),
+		Mu:      0.05,
+		Servers: 50,
+		Rho:     5,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	s := sys(utility.Step{Tau: 10})
+	if err := s.Validate(); err != nil {
+		t.Fatalf("valid system rejected: %v", err)
+	}
+	s.Mu = 0
+	if err := s.Validate(); err == nil {
+		t.Error("µ=0 accepted")
+	}
+	s = sys(utility.Step{Tau: 10})
+	s.Rho = 0
+	if err := s.Validate(); err == nil {
+		t.Error("ρ=0 accepted")
+	}
+}
+
+func TestMassConservation(t *testing.T) {
+	// Eq. 7 conserves total replicas: Σ dx_i/dt = 0 whenever Σ x_i = ρS.
+	s := sys(utility.Power{Alpha: 0})
+	x := s.UniformStart()
+	dst := make([]float64, len(x))
+	s.Derivs(0, x, dst)
+	var sum float64
+	for _, v := range dst {
+		sum += v
+	}
+	if math.Abs(sum) > 1e-9 {
+		t.Errorf("Σ dx/dt = %g, want 0", sum)
+	}
+}
+
+func TestRunPreservesBudget(t *testing.T) {
+	s := sys(utility.Step{Tau: 10})
+	x0 := s.UniformStart()
+	x, err := s.Run(x0, 500, 0.5)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var total float64
+	for _, v := range x {
+		if v < 0 {
+			t.Errorf("negative replica count %g", v)
+		}
+		total += v
+	}
+	if math.Abs(total-250) > 0.5 {
+		t.Errorf("total replicas %g, want ≈250", total)
+	}
+}
+
+// Property 2: the steady state of the fluid dynamics matches the relaxed
+// welfare optimum (Property 1 balance) for each utility family.
+func TestSteadyStateIsOptimal(t *testing.T) {
+	fams := []utility.Function{
+		utility.Step{Tau: 10},
+		utility.Exponential{Nu: 0.1},
+		utility.Power{Alpha: 0},
+		utility.Power{Alpha: 0.5},
+		utility.Power{Alpha: -1},
+	}
+	for _, f := range fams {
+		t.Run(f.Name(), func(t *testing.T) {
+			s := sys(f)
+			x, ok, err := s.RunToSteadyState(s.UniformStart(), 200000, 2, 1e-8)
+			if err != nil {
+				t.Fatalf("RunToSteadyState: %v", err)
+			}
+			if !ok {
+				t.Fatal("did not converge")
+			}
+			h := welfare.Homogeneous{
+				Utility: f, Pop: s.Pop, Mu: s.Mu, Servers: s.Servers, Clients: s.Servers,
+			}
+			opt, err := h.RelaxedOptimal(s.Rho)
+			if err != nil {
+				t.Fatalf("RelaxedOptimal: %v", err)
+			}
+			for i := range x {
+				if opt[i] >= float64(s.Servers)-1e-6 {
+					continue // boundary coordinates may differ
+				}
+				if math.Abs(x[i]-opt[i]) > 0.02*math.Max(1, opt[i]) {
+					t.Errorf("item %d: steady state %g vs optimum %g", i, x[i], opt[i])
+				}
+			}
+			// Welfare at the steady state ≈ optimal welfare.
+			uS, uO := h.Welfare(x), h.Welfare(opt)
+			if uS < uO-1e-3*math.Abs(uO) {
+				t.Errorf("steady-state welfare %g below optimum %g", uS, uO)
+			}
+		})
+	}
+}
+
+// The fixed point is independent of the ψ scale (only convergence speed
+// changes).
+func TestPsiScaleInvariance(t *testing.T) {
+	base := sys(utility.Power{Alpha: 0.5})
+	fast := base
+	fast.PsiScale = 5
+	x1, ok1, err1 := base.RunToSteadyState(base.UniformStart(), 200000, 2, 1e-8)
+	x2, ok2, err2 := fast.RunToSteadyState(fast.UniformStart(), 200000, 2, 1e-8)
+	if err1 != nil || err2 != nil || !ok1 || !ok2 {
+		t.Fatalf("convergence failure: %v %v %v %v", err1, ok1, err2, ok2)
+	}
+	for i := range x1 {
+		if math.Abs(x1[i]-x2[i]) > 0.01*math.Max(1, x1[i]) {
+			t.Errorf("item %d: %g vs %g under scaled ψ", i, x1[i], x2[i])
+		}
+	}
+}
+
+func TestRunRejectsBadState(t *testing.T) {
+	s := sys(utility.Step{Tau: 1})
+	if _, err := s.Run([]float64{1, 2}, 10, 0.5); err == nil {
+		t.Error("mismatched state length accepted")
+	}
+}

@@ -1,0 +1,202 @@
+package mobility
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"impatience/internal/trace"
+)
+
+func newRNG(seed uint64) *rand.Rand { return rand.New(rand.NewPCG(seed, seed+999)) }
+
+func testCfg() RWPConfig {
+	return RWPConfig{
+		Nodes:    10,
+		Width:    2000,
+		Height:   2000,
+		MinSpeed: 200, // m/min (~12 km/h)
+		MaxSpeed: 800,
+		MaxPause: 2,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := testCfg()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []RWPConfig{
+		{Nodes: 0, Width: 1, Height: 1, MinSpeed: 1, MaxSpeed: 2},
+		{Nodes: 1, Width: 0, Height: 1, MinSpeed: 1, MaxSpeed: 2},
+		{Nodes: 1, Width: 1, Height: 1, MinSpeed: 0, MaxSpeed: 2},
+		{Nodes: 1, Width: 1, Height: 1, MinSpeed: 3, MaxSpeed: 2},
+		{Nodes: 1, Width: 1, Height: 1, MinSpeed: 1, MaxSpeed: 2, MaxPause: -1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestPositionsStayInBounds(t *testing.T) {
+	cfg := testCfg()
+	r, err := NewRWP(cfg, newRNG(1))
+	if err != nil {
+		t.Fatalf("NewRWP: %v", err)
+	}
+	for step := 0; step < 500; step++ {
+		r.Advance(0.5)
+		for i := 0; i < cfg.Nodes; i++ {
+			p := r.Position(i)
+			if p.X < -1e-9 || p.X > cfg.Width+1e-9 || p.Y < -1e-9 || p.Y > cfg.Height+1e-9 {
+				t.Fatalf("node %d out of bounds at %v", i, p)
+			}
+		}
+	}
+}
+
+func TestSpeedRespected(t *testing.T) {
+	cfg := testCfg()
+	cfg.MaxPause = 0 // keep nodes moving
+	r, err := NewRWP(cfg, newRNG(2))
+	if err != nil {
+		t.Fatalf("NewRWP: %v", err)
+	}
+	const dt = 0.1
+	for step := 0; step < 2000; step++ {
+		before := make([]Point, cfg.Nodes)
+		for i := range before {
+			before[i] = r.Position(i)
+		}
+		r.Advance(dt)
+		for i := range before {
+			d := before[i].Dist(r.Position(i))
+			if d > cfg.MaxSpeed*dt*(1+1e-9) {
+				t.Fatalf("node %d moved %gm in %gmin (max %g)", i, d, dt, cfg.MaxSpeed*dt)
+			}
+		}
+	}
+}
+
+func TestNodesActuallyMove(t *testing.T) {
+	r, err := NewRWP(testCfg(), newRNG(3))
+	if err != nil {
+		t.Fatalf("NewRWP: %v", err)
+	}
+	start := make([]Point, testCfg().Nodes)
+	for i := range start {
+		start[i] = r.Position(i)
+	}
+	r.Advance(30)
+	moved := 0
+	for i := range start {
+		if start[i].Dist(r.Position(i)) > 100 {
+			moved++
+		}
+	}
+	if moved < len(start)/2 {
+		t.Errorf("only %d/%d nodes moved substantially in 30 min", moved, len(start))
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	r, _ := NewRWP(testCfg(), newRNG(4))
+	r.Advance(5)
+	r.Advance(2.5)
+	if math.Abs(r.Now()-7.5) > 1e-12 {
+		t.Errorf("Now=%g, want 7.5", r.Now())
+	}
+}
+
+func TestExtractContactsValid(t *testing.T) {
+	cfg := testCfg()
+	r, _ := NewRWP(cfg, newRNG(5))
+	tr, err := ExtractContacts(r, 300, 0.5, 200)
+	if err != nil {
+		t.Fatalf("ExtractContacts: %v", err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("invalid trace: %v", err)
+	}
+	if len(tr.Contacts) == 0 {
+		t.Fatal("no contacts extracted in a dense area")
+	}
+	if tr.Nodes != cfg.Nodes || tr.Duration != 300 {
+		t.Errorf("trace header %d/%g", tr.Nodes, tr.Duration)
+	}
+}
+
+func TestExtractContactsRisingEdgeOnly(t *testing.T) {
+	// Two nodes in a tiny area with slow speed stay in range nearly all
+	// the time: the number of events must be far below the number of
+	// samples (no per-sample repeat events).
+	cfg := RWPConfig{Nodes: 2, Width: 100, Height: 100, MinSpeed: 10, MaxSpeed: 20}
+	r, _ := NewRWP(cfg, newRNG(6))
+	tr, err := ExtractContacts(r, 1000, 1, 200) // radius exceeds the area diagonal
+	if err != nil {
+		t.Fatalf("ExtractContacts: %v", err)
+	}
+	if len(tr.Contacts) != 1 {
+		t.Errorf("always-in-range pair produced %d events, want exactly 1", len(tr.Contacts))
+	}
+}
+
+func TestExtractContactsParamValidation(t *testing.T) {
+	r, _ := NewRWP(testCfg(), newRNG(7))
+	if _, err := ExtractContacts(r, 0, 1, 200); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if _, err := ExtractContacts(r, 10, 0, 200); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if _, err := ExtractContacts(r, 10, 1, 0); err == nil {
+		t.Error("zero radius accepted")
+	}
+}
+
+func TestExtractContactsHeterogeneous(t *testing.T) {
+	// A large sparse area must yield heterogeneous pairwise rates (CV of
+	// per-pair counts > 0) and bursty inter-contacts — the properties the
+	// vehicular experiments rely on.
+	cfg := RWPConfig{Nodes: 20, Width: 10000, Height: 10000, MinSpeed: 300, MaxSpeed: 1000, MaxPause: 5}
+	r, _ := NewRWP(cfg, newRNG(8))
+	tr, err := ExtractContacts(r, 1440, 0.5, 200)
+	if err != nil {
+		t.Fatalf("ExtractContacts: %v", err)
+	}
+	if len(tr.Contacts) < 20 {
+		t.Skipf("too sparse for assertions: %d contacts", len(tr.Contacts))
+	}
+	rm := trace.EmpiricalRates(tr)
+	rates := rm.Rates()
+	var mean, ss float64
+	for _, v := range rates {
+		mean += v
+	}
+	mean /= float64(len(rates))
+	for _, v := range rates {
+		ss += (v - mean) * (v - mean)
+	}
+	if ss == 0 {
+		t.Error("pairwise rates perfectly homogeneous; expected heterogeneity")
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	mk := func() *trace.Trace {
+		r, _ := NewRWP(testCfg(), newRNG(99))
+		tr, _ := ExtractContacts(r, 100, 0.5, 200)
+		return tr
+	}
+	a, b := mk(), mk()
+	if len(a.Contacts) != len(b.Contacts) {
+		t.Fatalf("nondeterministic: %d vs %d contacts", len(a.Contacts), len(b.Contacts))
+	}
+	for i := range a.Contacts {
+		if a.Contacts[i] != b.Contacts[i] {
+			t.Fatalf("contact %d differs", i)
+		}
+	}
+}

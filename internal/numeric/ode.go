@@ -1,0 +1,67 @@
+package numeric
+
+// Derivs computes dx/dt into dst given the current time and state. dst and
+// x always have the same length and dst is zeroed by the caller.
+type Derivs func(t float64, x, dst []float64)
+
+// RK4 integrates dx/dt = f(t, x) from t0 to t1 with the classical
+// fourth-order Runge–Kutta method using n equal steps, starting from x0.
+// It returns the final state (a fresh slice; x0 is not modified).
+func RK4(f Derivs, x0 []float64, t0, t1 float64, n int) []float64 {
+	if n <= 0 {
+		n = 1
+	}
+	d := len(x0)
+	x := append([]float64(nil), x0...)
+	k1 := make([]float64, d)
+	k2 := make([]float64, d)
+	k3 := make([]float64, d)
+	k4 := make([]float64, d)
+	tmp := make([]float64, d)
+	h := (t1 - t0) / float64(n)
+	t := t0
+	for step := 0; step < n; step++ {
+		f(t, x, k1)
+		for i := range tmp {
+			tmp[i] = x[i] + h/2*k1[i]
+		}
+		f(t+h/2, tmp, k2)
+		for i := range tmp {
+			tmp[i] = x[i] + h/2*k2[i]
+		}
+		f(t+h/2, tmp, k3)
+		for i := range tmp {
+			tmp[i] = x[i] + h*k3[i]
+		}
+		f(t+h, tmp, k4)
+		for i := range x {
+			x[i] += h / 6 * (k1[i] + 2*k2[i] + 2*k3[i] + k4[i])
+		}
+		t += h
+	}
+	return x
+}
+
+// RK4Until integrates like RK4 but checks the supplied predicate after
+// every step and stops early when it returns true. It returns the final
+// state and the time reached. The predicate sees the live state slice and
+// must not retain or modify it.
+func RK4Until(f Derivs, x0 []float64, t0, tMax, h float64, done func(t float64, x []float64) bool) ([]float64, float64) {
+	if h <= 0 {
+		h = (tMax - t0) / 1000
+	}
+	x := append([]float64(nil), x0...)
+	t := t0
+	for t < tMax {
+		step := h
+		if t+step > tMax {
+			step = tMax - t
+		}
+		x = RK4(f, x, t, t+step, 1)
+		t += step
+		if done != nil && done(t, x) {
+			break
+		}
+	}
+	return x, t
+}

@@ -1,0 +1,88 @@
+package numeric
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNoBracket is returned when a root finder is given an interval whose
+// endpoints do not bracket a sign change.
+var ErrNoBracket = errors.New("numeric: endpoints do not bracket a root")
+
+// ErrNoConverge is returned when an iterative solver exhausts its iteration
+// budget without meeting its tolerance.
+var ErrNoConverge = errors.New("numeric: iteration did not converge")
+
+// Bisect finds x in [a, b] with f(x) = 0 by bisection, assuming f is
+// continuous and f(a), f(b) have opposite signs (one may be zero). The
+// result is accurate to xtol in the argument. Bisection is slow but
+// unconditionally robust, which is what the allocation solvers need: the
+// functions they invert (ϕ transforms) can be extremely flat.
+func Bisect(f func(float64) float64, a, b, xtol float64) (float64, error) {
+	if xtol <= 0 {
+		xtol = 1e-12
+	}
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if math.Signbit(fa) == math.Signbit(fb) {
+		return 0, ErrNoBracket
+	}
+	for i := 0; i < 200; i++ {
+		m := a + (b-a)/2
+		if b-a <= xtol || m == a || m == b {
+			return m, nil
+		}
+		fm := f(m)
+		if fm == 0 {
+			return m, nil
+		}
+		if math.Signbit(fm) == math.Signbit(fa) {
+			a, fa = m, fm
+		} else {
+			b = m
+		}
+	}
+	return a + (b-a)/2, ErrNoConverge
+}
+
+// InvertDecreasing solves f(x) = target for a continuous strictly
+// decreasing f on (0, ∞). It brackets the root by geometric expansion from
+// x0 (any positive starting guess) and then bisects. If target is above
+// f(lo) for lo → 0 or below f(hi) for hi → ∞ beyond the expansion limits,
+// the nearest bracket endpoint is returned with ErrNoBracket.
+func InvertDecreasing(f func(float64) float64, target, x0 float64) (float64, error) {
+	if x0 <= 0 {
+		x0 = 1
+	}
+	lo, hi := x0, x0
+	flo, fhi := f(lo), f(hi)
+	// Expand lo downward until f(lo) >= target.
+	for i := 0; flo < target; i++ {
+		if i >= 600 {
+			return lo, ErrNoBracket
+		}
+		lo /= 2
+		flo = f(lo)
+	}
+	// Expand hi upward until f(hi) <= target.
+	for i := 0; fhi > target; i++ {
+		if i >= 600 {
+			return hi, ErrNoBracket
+		}
+		hi *= 2
+		fhi = f(hi)
+	}
+	if lo == hi {
+		return lo, nil
+	}
+	// Bisect in log space: the bracket can span hundreds of orders of
+	// magnitude (ϕ transforms are power-like), and a root near zero needs
+	// relative, not absolute, precision.
+	u, err := Bisect(func(u float64) float64 { return f(math.Exp(u)) - target }, math.Log(lo), math.Log(hi), 1e-13)
+	return math.Exp(u), err
+}

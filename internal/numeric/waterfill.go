@@ -1,0 +1,184 @@
+package numeric
+
+import (
+	"errors"
+	"math"
+)
+
+// WaterFillProblem describes a separable concave resource-allocation
+// problem:
+//
+//	maximize   Σ_i w_i G(x_i)
+//	subject to Σ_i x_i = Budget,  0 ≤ x_i ≤ Cap_i
+//
+// with G concave increasing, described through its derivative: Deriv(x) is
+// G'(x), a continuous strictly decreasing positive function of x > 0. This
+// is exactly the relaxed social-welfare maximization of Theorem 2, whose
+// optimality condition is Property 1: w_i·Deriv(x_i) equal across all
+// interior coordinates.
+type WaterFillProblem struct {
+	Weights []float64               // w_i > 0 (items with w_i = 0 receive 0)
+	Caps    []float64               // per-coordinate upper bounds (e.g. |S|)
+	Budget  float64                 // total resource (e.g. ρ·|S|)
+	Deriv   func(x float64) float64 // G'(x), strictly decreasing in x
+	// DerivFor, when non-nil, gives each coordinate its own derivative
+	// (per-item delay-utilities: maximize Σ w_i·G_i(x_i) with balance
+	// condition w_i·G_i'(x_i) = λ). Takes precedence over Deriv.
+	DerivFor func(i int, x float64) float64
+}
+
+// derivFor resolves the derivative for coordinate i.
+func (p WaterFillProblem) derivFor(i int) func(float64) float64 {
+	if p.DerivFor != nil {
+		return func(x float64) float64 { return p.DerivFor(i, x) }
+	}
+	return p.Deriv
+}
+
+// ErrInfeasible is returned when the budget exceeds the sum of caps (the
+// problem has no feasible point using the whole budget) or inputs are
+// malformed.
+var ErrInfeasible = errors.New("numeric: water-filling problem infeasible")
+
+// WaterFill solves the problem by bisecting on the Lagrange multiplier λ:
+// for a trial λ each coordinate takes x_i(λ) = clamp(Deriv⁻¹(λ/w_i), 0,
+// Cap_i) and λ is adjusted until Σ x_i(λ) = Budget. The returned slice
+// satisfies the balance condition of Property 1 up to the solver
+// tolerance.
+func WaterFill(p WaterFillProblem) ([]float64, error) {
+	n := len(p.Weights)
+	if n == 0 || len(p.Caps) != n || p.Budget < 0 || (p.Deriv == nil && p.DerivFor == nil) {
+		return nil, ErrInfeasible
+	}
+	var capSum float64
+	for i, c := range p.Caps {
+		if c < 0 || p.Weights[i] < 0 {
+			return nil, ErrInfeasible
+		}
+		capSum += c
+	}
+	if p.Budget > capSum*(1+1e-9) {
+		return nil, ErrInfeasible
+	}
+	x := make([]float64, n)
+	if p.Budget == 0 {
+		return x, nil
+	}
+	if p.Budget >= capSum {
+		copy(x, p.Caps)
+		return x, nil
+	}
+
+	fill := func(lambda float64) float64 {
+		var total float64
+		for i := range x {
+			w := p.Weights[i]
+			if w == 0 || p.Caps[i] == 0 {
+				x[i] = 0
+				continue
+			}
+			deriv := p.derivFor(i)
+			// Solve deriv(v) = lambda/w for v, clamped to [0, cap].
+			target := lambda / w
+			if deriv(p.Caps[i]) >= target {
+				x[i] = p.Caps[i]
+			} else if d0 := deriv(tiny); d0 <= target && !math.IsInf(d0, 1) {
+				x[i] = 0
+			} else {
+				v, err := InvertDecreasing(deriv, target, p.Caps[i]/2)
+				if err != nil || v < 0 {
+					v = 0
+				}
+				if v > p.Caps[i] {
+					v = p.Caps[i]
+				}
+				x[i] = v
+			}
+			total += x[i]
+		}
+		return total
+	}
+
+	// Bracket lambda: large lambda → small fill, small lambda → large fill.
+	// Derive bounds from the extreme per-coordinate marginal values.
+	var hi, lo float64 = 0, math.Inf(1)
+	anyWeight := false
+	probe := p.Budget/float64(4*n) + tiny
+	for i, w := range p.Weights {
+		if w <= 0 {
+			continue
+		}
+		anyWeight = true
+		deriv := p.derivFor(i)
+		if v := w * deriv(probe); v > hi && !math.IsInf(v, 1) && !math.IsNaN(v) {
+			hi = v
+		}
+		if v := w * deriv(capSum); v < lo && v > 0 && !math.IsNaN(v) {
+			lo = v
+		}
+	}
+	if !anyWeight {
+		return nil, ErrInfeasible
+	}
+	if hi == 0 {
+		hi = 1e300
+	}
+	if math.IsInf(lo, 1) || lo <= 0 {
+		lo = 1e-300
+	}
+	for fill(hi) > p.Budget {
+		hi *= 4
+		if math.IsInf(hi, 1) {
+			return nil, ErrNoConverge
+		}
+	}
+	for fill(lo) < p.Budget {
+		lo /= 4
+		if lo == 0 {
+			break
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := math.Sqrt(lo * hi) // multiplier spans orders of magnitude: bisect in log space
+		if mid <= lo || mid >= hi || mid == 0 {
+			break
+		}
+		if fill(mid) > p.Budget {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	total := fill(hi)
+	// Distribute any residual rounding slack proportionally over interior
+	// coordinates so Σ x_i = Budget holds tightly.
+	if slack := p.Budget - total; math.Abs(slack) > 1e-12*math.Max(1, p.Budget) {
+		var room float64
+		for i := range x {
+			if p.Weights[i] > 0 {
+				if slack > 0 {
+					room += p.Caps[i] - x[i]
+				} else {
+					room += x[i]
+				}
+			}
+		}
+		if room > 0 {
+			for i := range x {
+				if p.Weights[i] == 0 {
+					continue
+				}
+				if slack > 0 {
+					x[i] += slack * (p.Caps[i] - x[i]) / room
+				} else {
+					x[i] += slack * x[i] / room
+				}
+			}
+		}
+	}
+	return x, nil
+}
+
+// tiny is the smallest argument at which the water-filling solver probes a
+// derivative; ϕ transforms may diverge at 0 so probing exactly 0 is unsafe.
+const tiny = 1e-12

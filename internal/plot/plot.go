@@ -1,0 +1,166 @@
+// Package plot renders experiment data as CSV files (for external
+// plotting) and quick ASCII line charts (for terminal inspection of the
+// regenerated paper figures).
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Table is columnar data with a header, one column per named series.
+type Table struct {
+	Title   string
+	XLabel  string
+	X       []float64
+	Columns []Column
+}
+
+// Column is one named data series.
+type Column struct {
+	Name string
+	Y    []float64
+}
+
+// AddColumn appends a series; the length must match X.
+func (t *Table) AddColumn(name string, y []float64) error {
+	if len(y) != len(t.X) {
+		return fmt.Errorf("plot: column %q has %d points, x has %d", name, len(y), len(t.X))
+	}
+	t.Columns = append(t.Columns, Column{Name: name, Y: append([]float64(nil), y...)})
+	return nil
+}
+
+// WriteCSV emits the table as CSV with the x column first.
+func (t *Table) WriteCSV(w io.Writer) error {
+	head := make([]string, 0, len(t.Columns)+1)
+	head = append(head, csvEscape(t.XLabel))
+	for _, c := range t.Columns {
+		head = append(head, csvEscape(c.Name))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(head, ",")); err != nil {
+		return err
+	}
+	for i := range t.X {
+		row := make([]string, 0, len(t.Columns)+1)
+		row = append(row, formatFloat(t.X[i]))
+		for _, c := range t.Columns {
+			row = append(row, formatFloat(c.Y[i]))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SaveCSV writes the table to a file, creating parent directories.
+func (t *Table) SaveCSV(path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+func formatFloat(v float64) string {
+	if math.IsNaN(v) {
+		return ""
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// markers used to distinguish series in ASCII charts.
+var markers = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// ASCII renders the table as a simple scatter/line chart of the given
+// terminal size. NaN points are skipped. Intended for eyeballing shapes,
+// not precision.
+func (t *Table) ASCII(width, height int) string {
+	if width < 20 {
+		width = 72
+	}
+	if height < 5 {
+		height = 20
+	}
+	var xmin, xmax = math.Inf(1), math.Inf(-1)
+	var ymin, ymax = math.Inf(1), math.Inf(-1)
+	for i, x := range t.X {
+		for _, c := range t.Columns {
+			if math.IsNaN(c.Y[i]) || math.IsInf(c.Y[i], 0) {
+				continue
+			}
+			if x < xmin {
+				xmin = x
+			}
+			if x > xmax {
+				xmax = x
+			}
+			if c.Y[i] < ymin {
+				ymin = c.Y[i]
+			}
+			if c.Y[i] > ymax {
+				ymax = c.Y[i]
+			}
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return t.Title + "\n(no data)\n"
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for ci, c := range t.Columns {
+		mark := markers[ci%len(markers)]
+		for i, x := range t.X {
+			y := c.Y[i]
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			col := int((x - xmin) / (xmax - xmin) * float64(width-1))
+			row := height - 1 - int((y-ymin)/(ymax-ymin)*float64(height-1))
+			grid[row][col] = mark
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", t.Title)
+	}
+	fmt.Fprintf(&sb, "%10.3g ┤\n", ymax)
+	for _, row := range grid {
+		fmt.Fprintf(&sb, "%10s │%s\n", "", row)
+	}
+	fmt.Fprintf(&sb, "%10.3g ┤%s\n", ymin, strings.Repeat("─", width))
+	fmt.Fprintf(&sb, "%10s  %-12.4g%*s%12.4g\n", t.XLabel, xmin, width-24, "", xmax)
+	var legend []string
+	for ci, c := range t.Columns {
+		legend = append(legend, fmt.Sprintf("%c=%s", markers[ci%len(markers)], c.Name))
+	}
+	fmt.Fprintf(&sb, "  legend: %s\n", strings.Join(legend, "  "))
+	return sb.String()
+}

@@ -1,0 +1,112 @@
+package plot
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := &Table{Title: "demo", XLabel: "t", X: []float64{0, 1, 2, 3}}
+	t.AddColumn("a", []float64{0, 1, 4, 9})
+	t.AddColumn("b", []float64{9, 4, 1, 0})
+	return t
+}
+
+func TestAddColumnLengthMismatch(t *testing.T) {
+	tb := &Table{X: []float64{1, 2}}
+	if err := tb.AddColumn("bad", []float64{1}); err == nil {
+		t.Error("mismatched column accepted")
+	}
+}
+
+func TestAddColumnCopies(t *testing.T) {
+	tb := &Table{X: []float64{1}}
+	src := []float64{5}
+	tb.AddColumn("a", src)
+	src[0] = 99
+	if tb.Columns[0].Y[0] != 5 {
+		t.Error("column shares caller storage")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := sampleTable().WriteCSV(&sb); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines: %q", len(lines), sb.String())
+	}
+	if lines[0] != "t,a,b" {
+		t.Errorf("header %q", lines[0])
+	}
+	if lines[1] != "0,0,9" || lines[4] != "3,9,0" {
+		t.Errorf("rows wrong: %v", lines)
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tb := &Table{XLabel: `x,with"comma`, X: []float64{1}}
+	tb.AddColumn("plain", []float64{2})
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), `"x,with""comma",plain`) {
+		t.Errorf("escaping wrong: %q", sb.String())
+	}
+}
+
+func TestCSVNaNBlank(t *testing.T) {
+	tb := &Table{XLabel: "x", X: []float64{1}}
+	tb.AddColumn("v", []float64{math.NaN()})
+	var sb strings.Builder
+	tb.WriteCSV(&sb)
+	if !strings.Contains(sb.String(), "1,\n") {
+		t.Errorf("NaN not blanked: %q", sb.String())
+	}
+}
+
+func TestSaveCSVCreatesDirs(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a", "b", "out.csv")
+	if err := sampleTable().SaveCSV(path); err != nil {
+		t.Fatalf("SaveCSV: %v", err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Errorf("file missing: %v", err)
+	}
+}
+
+func TestASCIIRenders(t *testing.T) {
+	out := sampleTable().ASCII(60, 12)
+	if !strings.Contains(out, "demo") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Error("series markers missing")
+	}
+	if !strings.Contains(out, "legend: *=a  +=b") {
+		t.Errorf("legend missing: %q", out)
+	}
+}
+
+func TestASCIIEmpty(t *testing.T) {
+	tb := &Table{Title: "empty", XLabel: "x"}
+	if out := tb.ASCII(40, 10); !strings.Contains(out, "no data") {
+		t.Errorf("empty table rendering: %q", out)
+	}
+}
+
+func TestASCIIConstantSeries(t *testing.T) {
+	tb := &Table{XLabel: "x", X: []float64{0, 1}}
+	tb.AddColumn("c", []float64{5, 5})
+	out := tb.ASCII(40, 8)
+	if !strings.Contains(out, "*") {
+		t.Error("constant series not plotted")
+	}
+}

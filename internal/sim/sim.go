@@ -1,0 +1,629 @@
+// Package sim is the discrete-event simulator of the paper's evaluation
+// (Section 6): given a contact trace (measured or synthetic), a demand
+// process, a delay-utility function and a replication policy, it plays
+// out request arrivals and node meetings, fulfills requests when a
+// requester meets a holder, records the realized delay-utility gains, and
+// lets the policy replicate cache content.
+//
+// The model follows Section 6.1: the population is pure P2P (every node
+// is both client and server), meetings are instantaneous but long enough
+// for the full protocol exchange, cache replacement is uniformly random
+// over non-sticky slots, each item has one sticky replica that cannot be
+// evicted, and rewriting is disabled unless the policy enables it.
+package sim
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"impatience/internal/alloc"
+	"impatience/internal/core"
+	"impatience/internal/demand"
+	"impatience/internal/trace"
+	"impatience/internal/utility"
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	Rho     int              // cache slots per node
+	Utility utility.Function // the population's impatience
+	// Utilities optionally gives each item its own delay-utility
+	// (Section 3.2); nil entries fall back to Utility.
+	Utilities []utility.Function
+	Pop       demand.Popularity
+	Profile   demand.Profile // optional; uniform if zero value
+	Trace     *trace.Trace   // drives meetings and the run duration
+	Policy    core.Policy    // replication policy (core.Static for fixed allocations)
+
+	// Initial is the starting allocation (counts per item). nil means the
+	// UNI allocation. For static policies this is the allocation under
+	// test and stays fixed for the whole run.
+	Initial alloc.Counts
+	// InitialPlacement, if non-nil, pins the exact item-to-node placement
+	// (server index = node id) instead of deriving one from Initial. It
+	// is how the heterogeneous OPT competitor keeps the node assignment
+	// its submodular greedy chose. Requires NoSticky.
+	InitialPlacement *alloc.Placement
+	// Sticky pins one replica of every item at node (item mod N), making
+	// the item unlosable (Section 6.1). It is forced off for static
+	// policies (their caches never change) and on for QCR-style policies
+	// unless explicitly disabled with NoSticky.
+	NoSticky bool
+
+	Seed uint64
+
+	// WarmupFrac is the fraction of the run excluded from the average
+	// utility (the allocation needs time to converge). 0 means the
+	// default of 0.2; pass a negative value for no warmup at all.
+	WarmupFrac float64
+	// BinWidth enables time series: realized gain, fulfillments and
+	// (optionally) replica-count snapshots per bin of this width. 0
+	// disables series collection.
+	BinWidth float64
+	// RecordCounts additionally snapshots the full per-item replica
+	// counts at every bin boundary (needed for Figure 3c/3d).
+	RecordCounts bool
+
+	// DemandSwitch, if non-nil, replaces the popularity at time
+	// DemandSwitchTime (the dynamic-demand extension).
+	DemandSwitch     *demand.Popularity
+	DemandSwitchTime float64
+
+	// ServerCount switches the population to the paper's dedicated-node
+	// case (C ∩ S = ∅): nodes [0, ServerCount) are cache-only servers
+	// (kiosks, throwboxes, buses) and the remaining nodes are client-only
+	// requesters with no cache. 0 (the default) is the pure-P2P case
+	// where every node is both. Dedicated mode admits utilities with
+	// unbounded h(0⁺) (inverse power, neglog) since immediate local
+	// fulfillment cannot occur.
+	ServerCount int
+}
+
+// Bin is one time-series bucket.
+type Bin struct {
+	T0, T1       float64
+	Gain         float64 // Σ h(age) over fulfillments in the bin
+	Fulfillments int
+	Mandates     int          // pending mandates at T1 (policies that expose them)
+	Counts       alloc.Counts // replica snapshot at T1 when RecordCounts
+}
+
+// Result summarizes a run.
+type Result struct {
+	Duration     float64
+	MeasureStart float64 // warmup boundary
+	// TotalGain is Σ h(age) over fulfillments after warmup;
+	// AvgUtilityRate is TotalGain divided by the measured span — directly
+	// comparable to the analytic welfare U(x), which is a gain rate.
+	TotalGain      float64
+	AvgUtilityRate float64
+	Fulfillments   int // fulfillments after warmup
+	Immediate      int // immediate (local-cache) fulfillments after warmup
+	Meetings       int
+	ReplicasMade   int // successful cache writes by the policy
+	FinalCounts    alloc.Counts
+	Outstanding    int // unfulfilled requests at the end
+	// OutstandingCost is the accrued waiting cost Σ min(0, h(age)) of the
+	// requests still open at the horizon (already included in TotalGain).
+	OutstandingCost float64
+	Bins            []Bin
+	Overhead        Overhead
+}
+
+// Overhead tallies the communication cost of a run, in protocol units
+// rather than bytes (content items dwarf everything else; mandates are a
+// few bytes).
+type Overhead struct {
+	// MetadataMsgs counts cache/request summaries: two per meeting.
+	MetadataMsgs int
+	// ContentTransfers counts item payloads sent over the air:
+	// non-immediate fulfillments plus replicas created by the policy.
+	ContentTransfers int
+	// MandateTransfers counts mandates moved between nodes by routing
+	// (policies exposing MandatesMoved; zero otherwise).
+	MandateTransfers int
+}
+
+// state is the live simulation state; it implements core.Cache.
+type state struct {
+	cfg     *Config
+	items   int
+	nodes   int
+	servers int // nodes [0, servers) have caches; == nodes in pure P2P
+	rho     int
+	rng     *rand.Rand
+	slots   [][]int32 // per node: item id per slot, -1 when empty
+	stickyS [][]bool  // per node: slot pinned?
+	has     []bool    // node*items + item
+	counts  []int     // replicas per item
+	stickyN []int     // per item: node holding the pinned replica, -1
+	writes  int
+
+	// outstanding requests: per node, item → open requests.
+	reqs []map[int][]request
+}
+
+type request struct {
+	t0      float64
+	queries int
+}
+
+// Nodes implements core.Cache.
+func (s *state) Nodes() int { return s.nodes }
+
+// Items implements core.Cache.
+func (s *state) Items() int { return s.items }
+
+// Has implements core.Cache.
+func (s *state) Has(node, item int) bool { return s.has[node*s.items+item] }
+
+// StickyNode implements core.Cache.
+func (s *state) StickyNode(item int) int { return s.stickyN[item] }
+
+// Write implements core.Cache: random replacement over non-sticky slots.
+func (s *state) Write(node, item int) bool {
+	if s.Has(node, item) {
+		return false
+	}
+	// Reservoir-sample a uniformly random non-sticky slot.
+	chosen := -1
+	seen := 0
+	for k := range s.slots[node] {
+		if s.stickyS[node][k] {
+			continue
+		}
+		seen++
+		if s.rng.IntN(seen) == 0 {
+			chosen = k
+		}
+	}
+	if chosen < 0 {
+		return false
+	}
+	if old := s.slots[node][chosen]; old >= 0 {
+		s.has[node*s.items+int(old)] = false
+		s.counts[old]--
+	}
+	s.slots[node][chosen] = int32(item)
+	s.has[node*s.items+item] = true
+	s.counts[item]++
+	s.writes++
+	return true
+}
+
+// place puts item into a specific empty slot during initialization.
+func (s *state) place(node, item int, sticky bool) error {
+	if s.Has(node, item) {
+		return fmt.Errorf("sim: node %d already holds item %d", node, item)
+	}
+	for k := range s.slots[node] {
+		if s.slots[node][k] < 0 {
+			s.slots[node][k] = int32(item)
+			s.stickyS[node][k] = sticky
+			s.has[node*s.items+item] = true
+			s.counts[item]++
+			if sticky {
+				s.stickyN[item] = node
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("sim: node %d has no free slot for item %d", node, item)
+}
+
+// utilityFor resolves item i's delay-utility.
+func (s *state) utilityFor(i int) utility.Function {
+	if i < len(s.cfg.Utilities) && s.cfg.Utilities[i] != nil {
+		return s.cfg.Utilities[i]
+	}
+	return s.cfg.Utility
+}
+
+// freeSlots counts empty slots at a node.
+func (s *state) freeSlots(node int) int {
+	n := 0
+	for _, it := range s.slots[node] {
+		if it < 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Run executes the simulation.
+func Run(cfg Config) (*Result, error) {
+	if err := validate(&cfg); err != nil {
+		return nil, err
+	}
+	items := cfg.Pop.Items()
+	nodes := cfg.Trace.Nodes
+	servers := nodes
+	if cfg.ServerCount > 0 {
+		servers = cfg.ServerCount
+	}
+	s := &state{
+		cfg:     &cfg,
+		items:   items,
+		nodes:   nodes,
+		servers: servers,
+		rho:     cfg.Rho,
+		rng:     rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x5eed0fca11)),
+		slots:   make([][]int32, nodes),
+		stickyS: make([][]bool, nodes),
+		has:     make([]bool, nodes*items),
+		counts:  make([]int, items),
+		stickyN: make([]int, items),
+		reqs:    make([]map[int][]request, nodes),
+	}
+	for n := 0; n < nodes; n++ {
+		slots := cfg.Rho
+		if n >= servers {
+			slots = 0 // dedicated clients carry no cache
+		}
+		s.slots[n] = make([]int32, slots)
+		for k := range s.slots[n] {
+			s.slots[n][k] = -1
+		}
+		s.stickyS[n] = make([]bool, slots)
+		s.reqs[n] = make(map[int][]request)
+	}
+	for i := range s.stickyN {
+		s.stickyN[i] = -1
+	}
+	if err := s.initCaches(); err != nil {
+		return nil, err
+	}
+
+	profile := cfg.Profile
+	if len(profile.P) == 0 {
+		if cfg.ServerCount > 0 {
+			// Demand arises only at the client nodes [servers, nodes).
+			profile = demand.Profile{P: make([][]float64, items)}
+			clients := nodes - servers
+			for i := range profile.P {
+				row := make([]float64, nodes)
+				for n := servers; n < nodes; n++ {
+					row[n] = 1 / float64(clients)
+				}
+				profile.P[i] = row
+			}
+		} else {
+			profile = demand.UniformProfile(items, nodes)
+		}
+	} else if cfg.ServerCount > 0 {
+		for i, row := range profile.P {
+			for n := 0; n < servers && n < len(row); n++ {
+				if row[n] > 0 {
+					return nil, fmt.Errorf("sim: profile gives demand to dedicated server %d (item %d)", n, i)
+				}
+			}
+		}
+	}
+	proc, err := demand.NewProcess(cfg.Pop, profile, rand.New(rand.NewPCG(cfg.Seed^0xdeadcafe, cfg.Seed+77)))
+	if err != nil {
+		return nil, err
+	}
+
+	cfg.Policy.Init(s)
+
+	res := &Result{
+		Duration:     cfg.Trace.Duration,
+		MeasureStart: cfg.WarmupFrac * cfg.Trace.Duration,
+		FinalCounts:  make(alloc.Counts, items),
+	}
+	mc, hasMandates := cfg.Policy.(mandateCounter)
+
+	// Time-series bookkeeping.
+	var bins []Bin
+	binIdx := -1
+	flushTo := func(t float64) {
+		if cfg.BinWidth <= 0 {
+			return
+		}
+		for target := int(t / cfg.BinWidth); binIdx < target; {
+			if binIdx >= 0 && binIdx < len(bins) {
+				// Finalize the closing bin with snapshots.
+				if cfg.RecordCounts {
+					bins[binIdx].Counts = append(alloc.Counts(nil), intsToCounts(s.counts)...)
+				}
+				if hasMandates {
+					bins[binIdx].Mandates = mc.TotalMandates()
+				}
+			}
+			binIdx++
+			bins = append(bins, Bin{T0: float64(binIdx) * cfg.BinWidth, T1: float64(binIdx+1) * cfg.BinWidth})
+		}
+	}
+
+	var totalFulfilled, totalImmediate int // whole-run counts for overhead
+	record := func(t, gain float64, immediate bool) {
+		totalFulfilled++
+		if immediate {
+			totalImmediate++
+		}
+		if cfg.BinWidth > 0 {
+			flushTo(t)
+			bins[binIdx].Gain += gain
+			bins[binIdx].Fulfillments++
+		}
+		if t >= res.MeasureStart {
+			res.TotalGain += gain
+			res.Fulfillments++
+			if immediate {
+				res.Immediate++
+			}
+		}
+	}
+
+	handleArrival := func(r demand.Request) {
+		if s.Has(r.Node, r.Item) {
+			// Pure P2P immediate fulfillment from the local cache.
+			record(r.T, s.utilityFor(r.Item).H0(), true)
+			cfg.Policy.OnFulfill(s, r.Node, r.Node, r.Item, 0, 0, r.T)
+			return
+		}
+		s.reqs[r.Node][r.Item] = append(s.reqs[r.Node][r.Item], request{t0: r.T})
+	}
+
+	// fulfillSide advances node n's requests given it met peer: every
+	// outstanding request queries the peer (counter++); requests for items
+	// the peer holds are all fulfilled.
+	fulfillSide := func(n, peer int, t float64) {
+		m := s.reqs[n]
+		if len(m) == 0 {
+			return
+		}
+		// Iterate in sorted item order: map order is randomized in Go and
+		// would leak nondeterminism into the policy's RNG stream.
+		items := make([]int, 0, len(m))
+		for item := range m {
+			items = append(items, item)
+		}
+		sort.Ints(items)
+		for _, item := range items {
+			list := m[item]
+			if s.Has(peer, item) {
+				for _, rq := range list {
+					q := rq.queries + 1
+					age := t - rq.t0
+					record(t, s.utilityFor(item).H(age), false)
+					cfg.Policy.OnFulfill(s, n, peer, item, q, age, t)
+				}
+				delete(m, item)
+			} else {
+				for k := range list {
+					list[k].queries++
+				}
+			}
+		}
+	}
+
+	switched := cfg.DemandSwitch == nil
+	next, ok := proc.Next()
+	for _, c := range cfg.Trace.Contacts {
+		for ok && next.T <= c.T {
+			if !switched && next.T >= cfg.DemandSwitchTime {
+				if err := proc.SetPopularity(*cfg.DemandSwitch); err != nil {
+					return nil, err
+				}
+				switched = true
+			}
+			handleArrival(next)
+			next, ok = proc.Next()
+		}
+		flushTo(c.T)
+		res.Meetings++
+		fulfillSide(c.A, c.B, c.T)
+		fulfillSide(c.B, c.A, c.T)
+		cfg.Policy.OnMeeting(s, c.A, c.B, c.T)
+	}
+	// Drain arrivals up to the end of the trace (they can no longer be
+	// fulfilled but belong to Outstanding).
+	for ok && next.T <= cfg.Trace.Duration {
+		handleArrival(next)
+		next, ok = proc.Next()
+	}
+	flushTo(cfg.Trace.Duration)
+	// Finalize the last open bin and drop any bin starting at or past the
+	// end of the trace.
+	if cfg.BinWidth > 0 && binIdx >= 0 && binIdx < len(bins) {
+		if cfg.RecordCounts {
+			bins[binIdx].Counts = append(alloc.Counts(nil), intsToCounts(s.counts)...)
+		}
+		if hasMandates {
+			bins[binIdx].Mandates = mc.TotalMandates()
+		}
+		for len(bins) > 0 && bins[len(bins)-1].T0 >= cfg.Trace.Duration {
+			bins = bins[:len(bins)-1]
+		}
+	}
+
+	copy(res.FinalCounts, intsToCounts(s.counts))
+	// Requests still outstanding at the horizon have already suffered
+	// their waiting cost even though no fulfillment event recorded it:
+	// charge min(0, h(age)) per open request. Without this, starving an
+	// item entirely (e.g. DOM under a waiting-cost utility) would look
+	// free. Reward-type utilities (h ≥ 0) are unaffected — their gain is
+	// only earned on actual fulfillment.
+	end := cfg.Trace.Duration
+	for n, m := range s.reqs {
+		for item, list := range m {
+			f := s.utilityFor(item)
+			for _, rq := range list {
+				res.Outstanding++
+				age := end - rq.t0
+				if age <= 0 {
+					age = 1e-9
+				}
+				if h := f.H(age); h < 0 && rq.t0 >= res.MeasureStart {
+					res.TotalGain += h
+					res.OutstandingCost += h
+				}
+			}
+		}
+		_ = n
+	}
+	span := cfg.Trace.Duration - res.MeasureStart
+	if span > 0 {
+		res.AvgUtilityRate = res.TotalGain / span
+	}
+	res.ReplicasMade = s.writes
+	res.Bins = bins
+	res.Overhead = Overhead{
+		MetadataMsgs:     2 * res.Meetings,
+		ContentTransfers: totalFulfilled - totalImmediate + s.writes,
+	}
+	if mm, ok := cfg.Policy.(interface{ MandatesMoved() int }); ok {
+		res.Overhead.MandateTransfers = mm.MandatesMoved()
+	}
+	return res, nil
+}
+
+// mandateCounter is implemented by policies that track pending mandates.
+type mandateCounter interface{ TotalMandates() int }
+
+func intsToCounts(v []int) alloc.Counts {
+	c := make(alloc.Counts, len(v))
+	copy(c, v)
+	return c
+}
+
+func validate(cfg *Config) error {
+	switch {
+	case cfg.Utility == nil && len(cfg.Utilities) == 0:
+		return fmt.Errorf("sim: nil utility")
+	case cfg.Policy == nil:
+		return fmt.Errorf("sim: nil policy")
+	case cfg.Trace == nil:
+		return fmt.Errorf("sim: nil trace")
+	case cfg.Rho <= 0:
+		return fmt.Errorf("sim: ρ=%d", cfg.Rho)
+	case cfg.Pop.Items() == 0:
+		return fmt.Errorf("sim: empty catalog")
+	}
+	if err := cfg.Trace.Validate(); err != nil {
+		return err
+	}
+	if cfg.ServerCount < 0 || cfg.ServerCount >= cfg.Trace.Nodes {
+		if cfg.ServerCount != 0 {
+			return fmt.Errorf("sim: ServerCount %d must be in (0, %d)", cfg.ServerCount, cfg.Trace.Nodes)
+		}
+	}
+	if len(cfg.Utilities) > 0 && len(cfg.Utilities) != cfg.Pop.Items() {
+		return fmt.Errorf("sim: %d per-item utilities for %d items", len(cfg.Utilities), cfg.Pop.Items())
+	}
+	if cfg.ServerCount == 0 {
+		if cfg.Utility != nil && !utility.SupportsPureP2P(cfg.Utility) {
+			return fmt.Errorf("sim: %s has unbounded h(0+); use the dedicated-node case (ServerCount > 0)", cfg.Utility.Name())
+		}
+		for i, f := range cfg.Utilities {
+			if f != nil && !utility.SupportsPureP2P(f) {
+				return fmt.Errorf("sim: item %d utility %s has unbounded h(0+); use the dedicated-node case", i, f.Name())
+			}
+		}
+	}
+	switch {
+	case cfg.WarmupFrac == 0:
+		cfg.WarmupFrac = 0.2
+	case cfg.WarmupFrac < 0:
+		cfg.WarmupFrac = 0
+	case cfg.WarmupFrac >= 1:
+		return fmt.Errorf("sim: warmup fraction %g", cfg.WarmupFrac)
+	}
+	effServers := cfg.Trace.Nodes
+	if cfg.ServerCount > 0 {
+		effServers = cfg.ServerCount
+	}
+	if !cfg.NoSticky && cfg.Pop.Items() > effServers*cfg.Rho {
+		return fmt.Errorf("sim: %d items exceed global capacity %d; sticky replicas impossible", cfg.Pop.Items(), effServers*cfg.Rho)
+	}
+	if cfg.DemandSwitch != nil && cfg.DemandSwitch.Items() != cfg.Pop.Items() {
+		return fmt.Errorf("sim: demand switch catalog %d != %d", cfg.DemandSwitch.Items(), cfg.Pop.Items())
+	}
+	if cfg.InitialPlacement != nil {
+		p := cfg.InitialPlacement
+		if !cfg.NoSticky {
+			return fmt.Errorf("sim: InitialPlacement requires NoSticky")
+		}
+		if p.Items != cfg.Pop.Items() || p.Servers != effServers || p.Rho > cfg.Rho {
+			return fmt.Errorf("sim: placement shape %dx%d/ρ%d incompatible with %dx%d/ρ%d",
+				p.Items, p.Servers, p.Rho, cfg.Pop.Items(), effServers, cfg.Rho)
+		}
+	}
+	return nil
+}
+
+// initCaches lays out the initial allocation: sticky replicas first (one
+// per item unless disabled), then the remaining copies of the desired
+// initial allocation spread across the least-loaded nodes lacking the
+// item.
+func (s *state) initCaches() error {
+	cfg := s.cfg
+	if cfg.InitialPlacement != nil {
+		p := cfg.InitialPlacement
+		for i := 0; i < p.Items; i++ {
+			for m := 0; m < p.Servers; m++ {
+				if p.Has(i, m) {
+					if err := s.place(m, i, false); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return nil
+	}
+	want := cfg.Initial
+	if want == nil {
+		want = alloc.Uniform(s.items, s.servers, s.rho)
+	}
+	if len(want) != s.items {
+		return fmt.Errorf("sim: initial allocation covers %d items, catalog has %d", len(want), s.items)
+	}
+	if err := want.Validate(s.servers, s.rho); err != nil {
+		return err
+	}
+	if !cfg.NoSticky {
+		for i := 0; i < s.items; i++ {
+			node := i % s.servers
+			if s.freeSlots(node) == 0 {
+				return fmt.Errorf("sim: node %d cannot hold sticky replica of item %d (ρ too small)", node, i)
+			}
+			if s.Has(node, i) {
+				continue
+			}
+			if err := s.place(node, i, true); err != nil {
+				return err
+			}
+		}
+	}
+	// Remaining copies: decreasing need, least-loaded servers without the
+	// item.
+	order := make([]int, s.items)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return want[order[a]] > want[order[b]] })
+	for _, i := range order {
+		need := want[i] - s.counts[i]
+		for need > 0 {
+			best, bestFree := -1, -1
+			for n := 0; n < s.servers; n++ {
+				if s.Has(n, i) {
+					continue
+				}
+				if f := s.freeSlots(n); f > bestFree {
+					best, bestFree = n, f
+				}
+			}
+			if best < 0 || bestFree == 0 {
+				break // no room anywhere; drop the remainder of this item
+			}
+			if err := s.place(best, i, false); err != nil {
+				return err
+			}
+			need--
+		}
+	}
+	return nil
+}

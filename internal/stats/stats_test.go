@@ -1,0 +1,154 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("summary %+v", s)
+	}
+	if math.Abs(s.Stddev-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("stddev %g", s.Stddev)
+	}
+	if s.P50 != 3 {
+		t.Errorf("median %g", s.P50)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Errorf("empty summary %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Stddev != 0 || s.P5 != 7 || s.P95 != 7 {
+		t.Errorf("single summary %+v", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10}, {1, 40}, {0.5, 25}, {1.0 / 3, 20}, {-1, 10}, {2, 40},
+	}
+	for _, tt := range tests {
+		if got := Percentile(xs, tt.p); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("p=%g: got %g, want %g", tt.p, got, tt.want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 0.5)) {
+		t.Error("empty percentile not NaN")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("input mutated")
+	}
+}
+
+func TestMergeTrials(t *testing.T) {
+	tt := []float64{0, 10, 20}
+	trials := [][]float64{
+		{1, 2, 3},
+		{3, 4, 5},
+	}
+	s, err := MergeTrials(tt, trials)
+	if err != nil {
+		t.Fatalf("MergeTrials: %v", err)
+	}
+	want := []float64{2, 3, 4}
+	for i := range want {
+		if s.Mean[i] != want[i] {
+			t.Errorf("mean[%d]=%g, want %g", i, s.Mean[i], want[i])
+		}
+		if s.P5[i] > s.Mean[i] || s.P95[i] < s.Mean[i] {
+			t.Errorf("band inverted at %d", i)
+		}
+	}
+}
+
+func TestMergeTrialsRagged(t *testing.T) {
+	if _, err := MergeTrials([]float64{0, 1}, [][]float64{{1}}); err == nil {
+		t.Error("ragged input accepted")
+	}
+}
+
+func TestNormalizedLoss(t *testing.T) {
+	if got := NormalizedLoss(-6, -5); math.Abs(got-(-20)) > 1e-9 {
+		t.Errorf("got %g, want -20", got)
+	}
+	if got := NormalizedLoss(0.9, 1.0); math.Abs(got-(-10)) > 1e-9 {
+		t.Errorf("got %g, want -10", got)
+	}
+	if got := NormalizedLoss(1.0, 1.0); got != 0 {
+		t.Errorf("got %g, want 0", got)
+	}
+	if !math.IsNaN(NormalizedLoss(1, 0)) {
+		t.Error("U_opt=0 should be NaN")
+	}
+}
+
+// Property: mean lies within [min,max], percentiles ordered.
+func TestSummaryInvariantsProperty(t *testing.T) {
+	prop := func(raw [9]float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, math.Mod(v, 1e6))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		if s.Mean < s.Min-1e-9 || s.Mean > s.Max+1e-9 {
+			return false
+		}
+		return s.P5 <= s.P50+1e-9 && s.P50 <= s.P95+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Percentile(p) is monotone in p.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	prop := func(raw [7]float64) bool {
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = math.Mod(v, 1000)
+			if math.IsNaN(xs[i]) {
+				xs[i] = 0
+			}
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 1.0; p += 0.1 {
+			v := Percentile(xs, p)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		// And p=1 equals the max.
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		return Percentile(xs, 1) == sorted[len(sorted)-1]
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,229 @@
+package synth
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"impatience/internal/trace"
+)
+
+func newRNG(seed uint64) *rand.Rand { return rand.New(rand.NewPCG(seed, seed^0xdeadbeef)) }
+
+func TestConferenceValid(t *testing.T) {
+	tr, err := Conference(DefaultConference(), newRNG(1))
+	if err != nil {
+		t.Fatalf("Conference: %v", err)
+	}
+	if tr.Nodes != 50 || tr.Duration != 3*1440 {
+		t.Errorf("header %d nodes / %g min", tr.Nodes, tr.Duration)
+	}
+	if len(tr.Contacts) < 1000 {
+		t.Errorf("suspiciously few contacts: %d", len(tr.Contacts))
+	}
+}
+
+func TestConferenceDiurnalCycle(t *testing.T) {
+	cfg := DefaultConference()
+	tr, err := Conference(cfg, newRNG(2))
+	if err != nil {
+		t.Fatalf("Conference: %v", err)
+	}
+	var day, night int
+	for _, c := range tr.Contacts {
+		tod := math.Mod(c.T, 1440)
+		if tod >= cfg.DayStart && tod < cfg.DayEnd {
+			day++
+		} else {
+			night++
+		}
+	}
+	// Daytime is 12 of 24 hours but carries ~96% of the activity.
+	if day < 5*night {
+		t.Errorf("day/night contact split %d/%d lacks diurnal structure", day, night)
+	}
+	if night == 0 {
+		t.Error("no night contacts at all; night factor not applied")
+	}
+}
+
+func TestConferenceHeterogeneity(t *testing.T) {
+	tr, err := Conference(DefaultConference(), newRNG(3))
+	if err != nil {
+		t.Fatalf("Conference: %v", err)
+	}
+	counts := trace.ContactCounts(tr)
+	min, max := counts[0], counts[0]
+	for _, c := range counts {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if max < 3*min+10 {
+		t.Errorf("node coverage too homogeneous: min=%d max=%d", min, max)
+	}
+}
+
+func TestConferenceBursty(t *testing.T) {
+	// Inter-contact CV must exceed 1 (heavier than exponential).
+	tr, err := Conference(DefaultConference(), newRNG(4))
+	if err != nil {
+		t.Fatalf("Conference: %v", err)
+	}
+	cv := trace.CoefficientOfVariation(trace.InterContactTimes(tr))
+	if !(cv > 1.15) {
+		t.Errorf("inter-contact CV %g, want > 1.15 (bursty)", cv)
+	}
+}
+
+func TestConferenceHomogeneousSociability(t *testing.T) {
+	cfg := DefaultConference()
+	cfg.Sociability = 0
+	cfg.Nodes = 10
+	cfg.Days = 1
+	tr, err := Conference(cfg, newRNG(5))
+	if err != nil {
+		t.Fatalf("Conference: %v", err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConferenceConfigValidation(t *testing.T) {
+	mods := []func(*ConferenceConfig){
+		func(c *ConferenceConfig) { c.Nodes = 1 },
+		func(c *ConferenceConfig) { c.Days = 0 },
+		func(c *ConferenceConfig) { c.DayEnd = c.DayStart },
+		func(c *ConferenceConfig) { c.DayEnd = 2000 },
+		func(c *ConferenceConfig) { c.NightFactor = 0 },
+		func(c *ConferenceConfig) { c.NightFactor = 1.5 },
+		func(c *ConferenceConfig) { c.MeanRate = 0 },
+		func(c *ConferenceConfig) { c.Sociability = -1 },
+		func(c *ConferenceConfig) { c.ParetoShape = 1 },
+	}
+	for i, mod := range mods {
+		cfg := DefaultConference()
+		mod(&cfg)
+		if _, err := Conference(cfg, newRNG(1)); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestDiurnalCumulativeInverse(t *testing.T) {
+	d := newDiurnal(480, 1200, 0.1, 2*1440)
+	// Λ is nondecreasing; invert is a right inverse on the range.
+	prev := -1.0
+	for tt := 0.0; tt <= 2*1440; tt += 37 {
+		c := d.cumulative(tt)
+		if c < prev-1e-9 {
+			t.Fatalf("cumulative not monotone at t=%g", tt)
+		}
+		prev = c
+		back := d.invert(c)
+		if math.Abs(d.cumulative(back)-c) > 1e-6 {
+			t.Fatalf("invert not a right inverse at t=%g: Λ(Λ⁻¹(%g))=%g", tt, c, d.cumulative(back))
+		}
+	}
+	// Daytime activity accumulates 1 per minute, night 0.1 per minute.
+	gotDay := d.cumulative(1200) - d.cumulative(480)
+	if math.Abs(gotDay-720) > 1e-6 {
+		t.Errorf("daytime cumulative %g, want 720", gotDay)
+	}
+	gotNight := d.cumulative(480) - d.cumulative(0)
+	if math.Abs(gotNight-48) > 1e-6 {
+		t.Errorf("night cumulative %g, want 48", gotNight)
+	}
+}
+
+func TestVehicularValid(t *testing.T) {
+	cfg := DefaultVehicular()
+	cfg.Cabs = 20 // keep the unit test fast
+	cfg.DurationMin = 360
+	tr, err := Vehicular(cfg, newRNG(6))
+	if err != nil {
+		t.Fatalf("Vehicular: %v", err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("invalid trace: %v", err)
+	}
+	if len(tr.Contacts) == 0 {
+		t.Fatal("no vehicular contacts; parameters unreasonable")
+	}
+}
+
+func TestMemorylessPreservesRates(t *testing.T) {
+	cfg := DefaultConference()
+	cfg.Nodes = 15
+	cfg.Days = 2
+	orig, err := Conference(cfg, newRNG(7))
+	if err != nil {
+		t.Fatalf("Conference: %v", err)
+	}
+	syn, err := Memoryless(orig, newRNG(8))
+	if err != nil {
+		t.Fatalf("Memoryless: %v", err)
+	}
+	if syn.Duration != orig.Duration || syn.Nodes != orig.Nodes {
+		t.Fatalf("header mismatch")
+	}
+	ro, rs := trace.EmpiricalRates(orig), trace.EmpiricalRates(syn)
+	// Aggregate rate conserved within Poisson noise.
+	if to, ts := ro.TotalRate(), rs.TotalRate(); math.Abs(to-ts)/to > 0.1 {
+		t.Errorf("total rate %g vs %g", to, ts)
+	}
+	// Correlation between per-pair rates should be high.
+	a, b := ro.Rates(), rs.Rates()
+	var ma, mb float64
+	for i := range a {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= float64(len(a))
+	mb /= float64(len(b))
+	var cov, va, vb float64
+	for i := range a {
+		cov += (a[i] - ma) * (b[i] - mb)
+		va += (a[i] - ma) * (a[i] - ma)
+		vb += (b[i] - mb) * (b[i] - mb)
+	}
+	if corr := cov / math.Sqrt(va*vb); corr < 0.9 {
+		t.Errorf("pairwise rate correlation %g, want ≥ 0.9", corr)
+	}
+}
+
+func TestMemorylessDestroysBurstiness(t *testing.T) {
+	orig, err := Conference(DefaultConference(), newRNG(9))
+	if err != nil {
+		t.Fatalf("Conference: %v", err)
+	}
+	syn, err := Memoryless(orig, newRNG(10))
+	if err != nil {
+		t.Fatalf("Memoryless: %v", err)
+	}
+	cvOrig := trace.CoefficientOfVariation(trace.InterContactTimes(orig))
+	cvSyn := trace.CoefficientOfVariation(trace.InterContactTimes(syn))
+	if !(cvSyn < cvOrig) {
+		t.Errorf("memoryless CV %g not below original %g", cvSyn, cvOrig)
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	cfg := DefaultConference()
+	cfg.Nodes = 10
+	cfg.Days = 1
+	a, _ := Conference(cfg, newRNG(11))
+	b, _ := Conference(cfg, newRNG(11))
+	if len(a.Contacts) != len(b.Contacts) {
+		t.Fatalf("nondeterministic conference generator")
+	}
+	for i := range a.Contacts {
+		if a.Contacts[i] != b.Contacts[i] {
+			t.Fatalf("contact %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// The text format is line-oriented:
+//
+//	# comments and blank lines are ignored
+//	nodes <N>
+//	duration <T>
+//	<t> <a> <b>        (one contact per line, any order; normalized on read)
+//
+// It is deliberately trivial so real trace sets (Infocom, Cabspotting
+// contact exports) can be converted with a one-line awk script.
+
+// Write serializes tr to w in the text format.
+func Write(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# impatience contact trace\n")
+	fmt.Fprintf(bw, "nodes %d\n", tr.Nodes)
+	fmt.Fprintf(bw, "duration %g\n", tr.Duration)
+	for _, c := range tr.Contacts {
+		fmt.Fprintf(bw, "%g %d %d\n", c.T, c.A, c.B)
+	}
+	return bw.Flush()
+}
+
+// Read parses a trace in the text format, normalizes and validates it.
+func Read(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	tr := &Trace{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch {
+		case fields[0] == "nodes" && len(fields) == 2:
+			n, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad node count: %v", lineNo, err)
+			}
+			tr.Nodes = n
+		case fields[0] == "duration" && len(fields) == 2:
+			d, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad duration: %v", lineNo, err)
+			}
+			tr.Duration = d
+		case len(fields) == 3:
+			t, err1 := strconv.ParseFloat(fields[0], 64)
+			a, err2 := strconv.Atoi(fields[1])
+			b, err3 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("trace: line %d: bad contact %q", lineNo, line)
+			}
+			tr.Contacts = append(tr.Contacts, Contact{T: t, A: a, B: b})
+		default:
+			return nil, fmt.Errorf("trace: line %d: unrecognized line %q", lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	tr.Normalize()
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// Load reads a trace file from disk.
+func Load(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Save writes a trace file to disk.
+func Save(path string, tr *Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, tr); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

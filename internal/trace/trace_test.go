@@ -1,0 +1,329 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sample() *Trace {
+	return (&Trace{
+		Nodes:    4,
+		Duration: 100,
+		Contacts: []Contact{
+			{T: 5, A: 1, B: 0},
+			{T: 1, A: 2, B: 3},
+			{T: 50, A: 0, B: 2},
+			{T: 50, A: 3, B: 1},
+			{T: 99, A: 0, B: 3},
+		},
+	}).Normalize()
+}
+
+func TestNormalizeOrdersAndOrients(t *testing.T) {
+	tr := sample()
+	prev := math.Inf(-1)
+	for i, c := range tr.Contacts {
+		if c.T < prev {
+			t.Fatalf("contact %d out of order", i)
+		}
+		if c.A >= c.B {
+			t.Fatalf("contact %d not oriented: (%d,%d)", i, c.A, c.B)
+		}
+		prev = c.T
+	}
+	if tr.Contacts[0].T != 1 {
+		t.Errorf("first contact at %g, want 1", tr.Contacts[0].T)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		mut  func(*Trace)
+		ok   bool
+	}{
+		{"valid", func(tr *Trace) {}, true},
+		{"zero nodes", func(tr *Trace) { tr.Nodes = 0 }, false},
+		{"bad duration", func(tr *Trace) { tr.Duration = -1 }, false},
+		{"out of order", func(tr *Trace) { tr.Contacts[0].T = 1000; tr.Duration = 2000 }, false},
+		{"time beyond duration", func(tr *Trace) { tr.Contacts[len(tr.Contacts)-1].T = 101 }, false},
+		{"self contact", func(tr *Trace) { tr.Contacts[0].B = tr.Contacts[0].A }, false},
+		{"node out of range", func(tr *Trace) { tr.Contacts[0].B = 9 }, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			tr := sample()
+			tt.mut(tr)
+			err := tr.Validate()
+			if tt.ok && err != nil {
+				t.Errorf("unexpected error: %v", err)
+			}
+			if !tt.ok && err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestWindow(t *testing.T) {
+	tr := sample()
+	w := tr.Window(5, 60)
+	if w.Duration != 55 {
+		t.Errorf("duration %g, want 55", w.Duration)
+	}
+	if len(w.Contacts) != 3 {
+		t.Fatalf("got %d contacts, want 3", len(w.Contacts))
+	}
+	if w.Contacts[0].T != 0 {
+		t.Errorf("first windowed contact at %g, want 0 (re-based)", w.Contacts[0].T)
+	}
+	if err := w.Validate(); err != nil {
+		t.Errorf("windowed trace invalid: %v", err)
+	}
+}
+
+func TestFilterNodes(t *testing.T) {
+	tr := sample()
+	f, err := tr.FilterNodes([]int{3, 0})
+	if err != nil {
+		t.Fatalf("FilterNodes: %v", err)
+	}
+	if f.Nodes != 2 {
+		t.Errorf("nodes=%d, want 2", f.Nodes)
+	}
+	// Only the (0,3) contact at t=99 survives; relabeled 3→0, 0→1.
+	if len(f.Contacts) != 1 {
+		t.Fatalf("got %d contacts, want 1: %v", len(f.Contacts), f.Contacts)
+	}
+	c := f.Contacts[0]
+	if c.T != 99 || c.A != 0 || c.B != 1 {
+		t.Errorf("got %+v", c)
+	}
+	if _, err := tr.FilterNodes([]int{0, 0}); err == nil {
+		t.Error("duplicate node accepted")
+	}
+	if _, err := tr.FilterNodes([]int{0, 99}); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+}
+
+func TestPairIndexBijective(t *testing.T) {
+	const n = 17
+	seen := make(map[int]bool)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			idx := PairIndex(n, a, b)
+			if idx < 0 || idx >= NumPairs(n) {
+				t.Fatalf("PairIndex(%d,%d)=%d out of range", a, b, idx)
+			}
+			if seen[idx] {
+				t.Fatalf("PairIndex(%d,%d)=%d collides", a, b, idx)
+			}
+			seen[idx] = true
+			if idx != PairIndex(n, b, a) {
+				t.Fatalf("PairIndex not symmetric for (%d,%d)", a, b)
+			}
+		}
+	}
+	if len(seen) != NumPairs(n) {
+		t.Errorf("covered %d indices, want %d", len(seen), NumPairs(n))
+	}
+}
+
+func TestRateMatrix(t *testing.T) {
+	rm := NewRateMatrix(3)
+	rm.Set(0, 1, 0.5)
+	rm.Set(2, 1, 0.25)
+	if rm.At(1, 0) != 0.5 || rm.At(1, 2) != 0.25 {
+		t.Errorf("symmetric access broken: %g %g", rm.At(1, 0), rm.At(1, 2))
+	}
+	if rm.At(1, 1) != 0 {
+		t.Error("diagonal not zero")
+	}
+	rm.Set(2, 2, 9) // must be a no-op
+	if rm.At(2, 2) != 0 {
+		t.Error("diagonal settable")
+	}
+	if got := rm.TotalRate(); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("TotalRate=%g, want 0.75", got)
+	}
+	if got := rm.Mean(); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("Mean=%g, want 0.25", got)
+	}
+}
+
+func TestUniformRates(t *testing.T) {
+	rm := UniformRates(5, 0.05)
+	for a := 0; a < 5; a++ {
+		for b := 0; b < 5; b++ {
+			want := 0.05
+			if a == b {
+				want = 0
+			}
+			if rm.At(a, b) != want {
+				t.Errorf("µ(%d,%d)=%g, want %g", a, b, rm.At(a, b), want)
+			}
+		}
+	}
+}
+
+func TestEmpiricalRates(t *testing.T) {
+	tr := &Trace{
+		Nodes:    3,
+		Duration: 10,
+		Contacts: []Contact{
+			{T: 1, A: 0, B: 1}, {T: 2, A: 0, B: 1}, {T: 3, A: 0, B: 1}, {T: 4, A: 0, B: 1},
+			{T: 5, A: 1, B: 2},
+		},
+	}
+	rm := EmpiricalRates(tr)
+	if got := rm.At(0, 1); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("µ(0,1)=%g, want 0.4", got)
+	}
+	if got := rm.At(1, 2); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("µ(1,2)=%g, want 0.1", got)
+	}
+	if got := rm.At(0, 2); got != 0 {
+		t.Errorf("µ(0,2)=%g, want 0", got)
+	}
+}
+
+func TestInterContactTimes(t *testing.T) {
+	tr := &Trace{
+		Nodes:    3,
+		Duration: 100,
+		Contacts: []Contact{
+			{T: 10, A: 0, B: 1}, {T: 25, A: 1, B: 0}, {T: 45, A: 0, B: 1},
+			{T: 50, A: 1, B: 2},
+		},
+	}
+	gaps := InterContactTimes(tr)
+	if len(gaps) != 2 {
+		t.Fatalf("got %d gaps, want 2: %v", len(gaps), gaps)
+	}
+	if gaps[0] != 15 || gaps[1] != 20 {
+		t.Errorf("gaps=%v, want [15 20]", gaps)
+	}
+}
+
+func TestTopNodes(t *testing.T) {
+	tr := sample()
+	counts := ContactCounts(tr)
+	top := TopNodes(tr, 2)
+	if len(top) != 2 {
+		t.Fatalf("got %d nodes", len(top))
+	}
+	if counts[top[0]] < counts[top[1]] {
+		t.Error("not ordered by coverage")
+	}
+	all := TopNodes(tr, 100)
+	if len(all) != tr.Nodes {
+		t.Errorf("TopNodes with large k returned %d", len(all))
+	}
+}
+
+func TestCoefficientOfVariation(t *testing.T) {
+	if cv := CoefficientOfVariation([]float64{5, 5, 5, 5}); math.Abs(cv) > 1e-12 {
+		t.Errorf("constant gaps: cv=%g, want 0", cv)
+	}
+	if cv := CoefficientOfVariation([]float64{1}); !math.IsNaN(cv) {
+		t.Errorf("single gap: cv=%g, want NaN", cv)
+	}
+}
+
+func TestRoundTripIO(t *testing.T) {
+	tr := sample()
+	var sb strings.Builder
+	if err := Write(&sb, tr); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Nodes != tr.Nodes || got.Duration != tr.Duration || len(got.Contacts) != len(tr.Contacts) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, tr)
+	}
+	for i := range got.Contacts {
+		if got.Contacts[i] != tr.Contacts[i] {
+			t.Errorf("contact %d: %+v vs %+v", i, got.Contacts[i], tr.Contacts[i])
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"nodes x\nduration 5\n",
+		"nodes 2\nduration y\n",
+		"nodes 2\nduration 5\n1 2\n",
+		"nodes 2\nduration 5\na b c\n",
+		"hello world\n",
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("accepted garbage %q", c)
+		}
+	}
+}
+
+func TestReadComments(t *testing.T) {
+	src := "# header\n\nnodes 2\n# mid\nduration 10\n3 0 1\n"
+	tr, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(tr.Contacts) != 1 {
+		t.Errorf("got %d contacts", len(tr.Contacts))
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/trace.txt"
+	tr := sample()
+	if err := Save(path, tr); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(got.Contacts) != len(tr.Contacts) {
+		t.Errorf("got %d contacts, want %d", len(got.Contacts), len(tr.Contacts))
+	}
+}
+
+// Property: empirical rates of a trace built from a known rate matrix sum
+// correctly (count conservation: Σ pair counts == len(Contacts)).
+func TestEmpiricalRatesConservationProperty(t *testing.T) {
+	prop := func(times [12]float64, pairs [12]uint8) bool {
+		tr := &Trace{Nodes: 5, Duration: 100}
+		for i := range times {
+			tt := math.Abs(math.Mod(times[i], 100))
+			a := int(pairs[i]) % 5
+			b := (a + 1 + int(pairs[i]/5)%4) % 5
+			tr.Contacts = append(tr.Contacts, Contact{T: tt, A: a, B: b})
+		}
+		tr.Normalize()
+		if err := tr.Validate(); err != nil {
+			return false
+		}
+		rm := EmpiricalRates(tr)
+		return math.Abs(rm.TotalRate()*tr.Duration-float64(len(tr.Contacts))) < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	tr := sample()
+	cp := tr.Clone()
+	cp.Contacts[0].T = 77777
+	cp.Contacts[0].A = 0
+	if tr.Contacts[0].T == 77777 {
+		t.Error("Clone shares contact storage")
+	}
+}

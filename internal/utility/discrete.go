@@ -1,0 +1,109 @@
+package utility
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// DeltaC is the discrete-time differential delay-utility of Section 3.5:
+// Δc(kδ) = h(kδ) − h((k+1)δ), the utility lost by waiting one more slot.
+// It is non-negative for any valid (non-increasing) h.
+func DeltaC(f Function, k int, delta float64) float64 {
+	t := float64(k) * delta
+	return f.H(t) - f.H(t+delta)
+}
+
+// DiscreteExpectedGain evaluates Lemma 1's discrete-time series
+//
+//	E[h(Y)] = h(δ) − Σ_{k≥1} q^k · Δc(kδ)
+//
+// where q is the per-slot probability that none of the caching servers is
+// met (so the fulfillment delay is Y = Kδ with K geometric). q = 1 means
+// the request is never fulfilled and the t → ∞ limit of h is returned.
+// The series is summed until the geometric envelope q^k·|Δc| is negligible
+// relative to the accumulated value.
+func DiscreteExpectedGain(f Function, q, delta float64) float64 {
+	if delta <= 0 {
+		return math.NaN()
+	}
+	if q >= 1 {
+		return f.ExpectedGain(0)
+	}
+	if q <= 0 {
+		return f.H(delta)
+	}
+	sum := 0.0
+	qk := 1.0
+	const maxTerms = 50_000_000
+	for k := 1; k <= maxTerms; k++ {
+		qk *= q
+		dc := DeltaC(f, k, delta)
+		sum += qk * dc
+		// Terminate once the remaining tail is provably tiny: Δc terms are
+		// bounded by the local slope which, for all families here, is
+		// non-increasing beyond its mode; a conservative geometric bound on
+		// the tail is qk/(1-q) times the current term magnitude.
+		if qk < 1e-16 && qk/(1-q)*math.Max(dc, 1) < 1e-12*(math.Abs(sum)+1) {
+			break
+		}
+	}
+	return f.H(delta) - sum
+}
+
+// StepDiscreteExpectedGain is the closed-form discrete-time gain for the
+// step utility: the request earns 1 iff it is fulfilled within the first
+// ⌊τ/δ⌋ slots, so E[h(Y)] = 1 − q^{⌊τ/δ⌋}. Used to cross-check
+// DiscreteExpectedGain.
+func StepDiscreteExpectedGain(s Step, q, delta float64) float64 {
+	k := math.Floor(s.Tau / delta)
+	if k <= 0 {
+		return 0
+	}
+	return 1 - math.Pow(q, k)
+}
+
+// Parse builds a Function from a compact spec string, used by the CLI
+// tools and experiment configs:
+//
+//	"step:10"     → Step{Tau: 10}
+//	"exp:0.5"     → Exponential{Nu: 0.5}
+//	"power:-1"    → Power{Alpha: -1}
+//	"neglog"      → NegLog{}
+func Parse(spec string) (Function, error) {
+	name, arg, hasArg := strings.Cut(spec, ":")
+	var param float64
+	if hasArg {
+		var err error
+		param, err = strconv.ParseFloat(arg, 64)
+		if err != nil {
+			return nil, fmt.Errorf("utility: bad parameter in spec %q: %v", spec, err)
+		}
+	}
+	switch name {
+	case "step":
+		if !hasArg || param <= 0 {
+			return nil, fmt.Errorf("utility: step requires τ > 0 (got %q)", spec)
+		}
+		return Step{Tau: param}, nil
+	case "exp", "exponential":
+		if !hasArg || param <= 0 {
+			return nil, fmt.Errorf("utility: exponential requires ν > 0 (got %q)", spec)
+		}
+		return Exponential{Nu: param}, nil
+	case "power":
+		if !hasArg {
+			return nil, fmt.Errorf("utility: power requires α (got %q)", spec)
+		}
+		p := Power{Alpha: param}
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		return p, nil
+	case "neglog", "log":
+		return NegLog{}, nil
+	default:
+		return nil, fmt.Errorf("utility: unknown family %q (want step, exp, power or neglog)", name)
+	}
+}

@@ -1,0 +1,87 @@
+package utility
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeltaCNonNegative(t *testing.T) {
+	for _, f := range allFamilies() {
+		for k := 1; k < 50; k++ {
+			if dc := DeltaC(f, k, 0.5); dc < -1e-12 {
+				t.Errorf("%s: Δc(%d·0.5)=%g negative", f.Name(), k, dc)
+			}
+		}
+	}
+}
+
+func TestDiscreteExpectedGainStepClosedForm(t *testing.T) {
+	s := Step{Tau: 7}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		for _, delta := range []float64{0.25, 1, 2} {
+			got := DiscreteExpectedGain(s, q, delta)
+			want := StepDiscreteExpectedGain(s, q, delta)
+			if !almostEqual(got, want, 1e-10) {
+				t.Errorf("q=%g δ=%g: series=%g closed=%g", q, delta, got, want)
+			}
+		}
+	}
+}
+
+func TestDiscreteExpectedGainEdges(t *testing.T) {
+	s := Step{Tau: 5}
+	if got := DiscreteExpectedGain(s, 1, 0.5); got != 0 {
+		t.Errorf("q=1 (never fulfilled): got %g, want 0", got)
+	}
+	if got := DiscreteExpectedGain(s, 0, 0.5); got != 1 {
+		t.Errorf("q=0 (fulfilled first slot): got %g, want h(δ)=1", got)
+	}
+	if got := DiscreteExpectedGain(s, 0.5, 0); !math.IsNaN(got) {
+		t.Errorf("δ=0: got %g, want NaN", got)
+	}
+}
+
+// Section 3.4: as δ → 0 with q = 1 - rate·δ, the discrete model approaches
+// the continuous model. Verify for the exponential and step families.
+func TestDiscreteConvergesToContinuous(t *testing.T) {
+	rate := 0.8
+	fams := []Function{Exponential{Nu: 0.5}, Step{Tau: 3}, Power{Alpha: 0}}
+	for _, f := range fams {
+		want := f.ExpectedGain(rate)
+		var prevErr float64 = math.Inf(1)
+		for _, delta := range []float64{0.2, 0.05, 0.01} {
+			q := 1 - rate*delta
+			got := DiscreteExpectedGain(f, q, delta)
+			e := math.Abs(got - want)
+			if e > prevErr*1.2+1e-10 {
+				t.Errorf("%s: error did not shrink as δ→0: δ=%g err=%g prev=%g", f.Name(), delta, e, prevErr)
+			}
+			prevErr = e
+		}
+		if prevErr > 0.02*math.Max(1, math.Abs(want)) {
+			t.Errorf("%s: residual discrete-vs-continuous gap %g too large (want≈%g)", f.Name(), prevErr, want)
+		}
+	}
+}
+
+// Property: the discrete gain is monotone decreasing in q (more chance of
+// missing the servers each slot can only hurt).
+func TestDiscreteGainMonotoneInQ(t *testing.T) {
+	prop := func(tauRaw float64, pick uint8) bool {
+		fams := []Function{Step{Tau: 0.5 + math.Abs(math.Mod(tauRaw, 20))}, Exponential{Nu: 0.3}, Power{Alpha: 0.5}}
+		f := fams[int(pick)%len(fams)]
+		prev := math.Inf(1)
+		for _, q := range []float64{0.05, 0.3, 0.6, 0.9, 0.99} {
+			v := DiscreteExpectedGain(f, q, 0.5)
+			if v > prev+1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

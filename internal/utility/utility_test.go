@@ -1,0 +1,422 @@
+package utility
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// allFamilies returns one representative per family with the given knobs,
+// for table-driven cross-family tests.
+func allFamilies() []Function {
+	return []Function{
+		Step{Tau: 1},
+		Step{Tau: 25},
+		Exponential{Nu: 0.1},
+		Exponential{Nu: 2},
+		Power{Alpha: 1.5}, // inverse power (time-critical)
+		Power{Alpha: 0.5}, // negative power (waiting cost)
+		Power{Alpha: 0},
+		Power{Alpha: -1},
+		NegLog{},
+	}
+}
+
+func TestHMonotoneNonIncreasing(t *testing.T) {
+	ts := []float64{0.01, 0.1, 0.5, 1, 2, 5, 10, 100, 1000}
+	for _, f := range allFamilies() {
+		prev := math.Inf(1)
+		for _, x := range ts {
+			v := f.H(x)
+			if v > prev+1e-12 {
+				t.Errorf("%s: h not non-increasing at t=%g: %g > %g", f.Name(), x, v, prev)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestDensityNonNegative(t *testing.T) {
+	for _, f := range allFamilies() {
+		for _, x := range []float64{0.01, 0.1, 1, 10, 100} {
+			if c := f.Density(x); c < 0 {
+				t.Errorf("%s: density negative at t=%g: %g", f.Name(), x, c)
+			}
+		}
+		for _, a := range f.Atoms() {
+			if a.Mass <= 0 || a.T <= 0 {
+				t.Errorf("%s: invalid atom %+v", f.Name(), a)
+			}
+		}
+	}
+}
+
+// The closed-form expected gains must match the Lemma-1 quadrature
+// reference h(0+) - ∫ e^{-λt} c(t) dt for every family with finite h(0+),
+// and direct E[h(Y)] quadrature for the unbounded ones.
+func TestExpectedGainClosedFormVsNumeric(t *testing.T) {
+	rates := []float64{0.05, 0.25, 1, 4, 20}
+	for _, f := range allFamilies() {
+		for _, r := range rates {
+			want := f.ExpectedGain(r)
+			if math.IsInf(f.H0(), 1) {
+				// Unbounded h(0+): integrate E[h(Y)] = ∫ h(t)·λe^{-λt} dt directly.
+				got, err := directExpectedGain(f, r)
+				if err != nil {
+					t.Fatalf("%s rate=%g: %v", f.Name(), r, err)
+				}
+				if !almostEqual(got, want, 1e-5) {
+					t.Errorf("%s rate=%g: direct=%g closed=%g", f.Name(), r, got, want)
+				}
+				continue
+			}
+			got, err := NumericExpectedGain(f, r)
+			if err != nil {
+				t.Fatalf("%s rate=%g: %v", f.Name(), r, err)
+			}
+			if !almostEqual(got, want, 1e-6) {
+				t.Errorf("%s rate=%g: numeric=%g closed=%g", f.Name(), r, got, want)
+			}
+		}
+	}
+}
+
+// directExpectedGain integrates h against the Exp(rate) density, splitting
+// at 1/rate to tame integrable singularities of h at 0.
+func directExpectedGain(f Function, rate float64) (float64, error) {
+	pdf := func(t float64) float64 { return f.H(t) * rate * math.Exp(-rate*t) }
+	// The families with h(0+)=∞ (power 1<α<2, neglog) have integrable
+	// singularities; substitute t = u^k with k chosen to flatten them.
+	split := 1 / rate
+	var head float64
+	{
+		// t = split·u^4 concentrates nodes near 0.
+		k := 4.0
+		g := func(u float64) float64 {
+			tt := split * math.Pow(u, k)
+			if tt == 0 {
+				return 0
+			}
+			return pdf(tt) * split * k * math.Pow(u, k-1)
+		}
+		v, err := integrate01(g)
+		if err != nil {
+			return 0, err
+		}
+		head = v
+	}
+	tail, err := integrateToInf(pdf, split)
+	if err != nil {
+		return 0, err
+	}
+	return head + tail, nil
+}
+
+func TestExpectedGainMonotoneInRate(t *testing.T) {
+	// More replicas (higher rate) can only help: E[h(Y)] non-decreasing in λ.
+	rates := []float64{0.01, 0.1, 0.5, 1, 2, 10, 50}
+	for _, f := range allFamilies() {
+		prev := math.Inf(-1)
+		for _, r := range rates {
+			v := f.ExpectedGain(r)
+			if v < prev-1e-12 {
+				t.Errorf("%s: ExpectedGain decreasing at rate=%g: %g < %g", f.Name(), r, v, prev)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestExpectedGainZeroRate(t *testing.T) {
+	tests := []struct {
+		f    Function
+		want float64
+	}{
+		{Step{Tau: 5}, 0},
+		{Exponential{Nu: 1}, 0},
+		{Power{Alpha: 1.5}, 0},
+		{Power{Alpha: 0}, math.Inf(-1)},
+		{Power{Alpha: -2}, math.Inf(-1)},
+		{NegLog{}, math.Inf(-1)},
+	}
+	for _, tt := range tests {
+		if got := tt.f.ExpectedGain(0); got != tt.want {
+			t.Errorf("%s: ExpectedGain(0)=%g, want %g", tt.f.Name(), got, tt.want)
+		}
+	}
+}
+
+// Phi closed forms vs the quadrature reference.
+func TestPhiClosedFormVsNumeric(t *testing.T) {
+	mus := []float64{0.05, 1}
+	xs := []float64{0.5, 1, 3, 10, 40}
+	for _, f := range allFamilies() {
+		for _, mu := range mus {
+			for _, x := range xs {
+				want := f.Phi(mu, x)
+				got, err := NumericPhi(f, mu, x)
+				if err != nil {
+					t.Fatalf("%s µ=%g x=%g: %v", f.Name(), mu, x, err)
+				}
+				if !almostEqual(got, want, 1e-5) {
+					t.Errorf("%s µ=%g x=%g: numeric=%g closed=%g", f.Name(), mu, x, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPhiPositiveDecreasing(t *testing.T) {
+	xs := []float64{0.25, 0.5, 1, 2, 4, 8, 16, 32}
+	for _, f := range allFamilies() {
+		prev := math.Inf(1)
+		for _, x := range xs {
+			v := f.Phi(0.05, x)
+			if v <= 0 {
+				t.Errorf("%s: ϕ(%g)=%g not positive", f.Name(), x, v)
+			}
+			if v > prev+1e-15 {
+				t.Errorf("%s: ϕ not decreasing at x=%g", f.Name(), x)
+			}
+			prev = v
+		}
+	}
+}
+
+// Phi is the derivative of the expected gain with respect to the replica
+// count: ϕ(x) = d/dx E[h(Exp(µx))]. This ties Property 1 to the welfare
+// function and validates both closed forms at once.
+func TestPhiIsWelfareDerivative(t *testing.T) {
+	const mu = 0.05
+	for _, f := range allFamilies() {
+		for _, x := range []float64{1, 3, 10, 30} {
+			eps := 1e-5 * x
+			num := (f.ExpectedGain(mu*(x+eps)) - f.ExpectedGain(mu*(x-eps))) / (2 * eps)
+			want := f.Phi(mu, x)
+			if !almostEqual(num, want, 1e-4) {
+				t.Errorf("%s x=%g: dU/dx=%g, ϕ=%g", f.Name(), x, num, want)
+			}
+		}
+	}
+}
+
+// Table 1's ψ closed forms, written out verbatim here, must equal the
+// generic ψ(y) = (S/y)·ϕ(S/y).
+func TestPsiMatchesTable1(t *testing.T) {
+	const (
+		mu = 0.05
+		S  = 50.0
+	)
+	ys := []float64{0.5, 1, 2, 5, 10, 40, 200}
+	t.Run("step", func(t *testing.T) {
+		f := Step{Tau: 10}
+		for _, y := range ys {
+			want := (mu * f.Tau * S / y) * math.Exp(-mu*f.Tau*S/y)
+			if got := Psi(f, mu, S, y); !almostEqual(got, want, 1e-10) {
+				t.Errorf("y=%g: ψ=%g, table=%g", y, got, want)
+			}
+		}
+	})
+	t.Run("exponential", func(t *testing.T) {
+		f := Exponential{Nu: 0.3}
+		for _, y := range ys {
+			a := mu * S / f.Nu
+			want := 1 / (y/a + 2 + a/y)
+			if got := Psi(f, mu, S, y); !almostEqual(got, want, 1e-10) {
+				t.Errorf("y=%g: ψ=%g, table=%g", y, got, want)
+			}
+		}
+	})
+	t.Run("power", func(t *testing.T) {
+		for _, alpha := range []float64{1.5, 0.5, 0, -1} {
+			f := Power{Alpha: alpha}
+			for _, y := range ys {
+				want := math.Pow(y, 1-alpha) * math.Pow(mu, alpha-1) * math.Pow(S, alpha-1) * math.Gamma(2-alpha)
+				if got := Psi(f, mu, S, y); !almostEqual(got, want, 1e-10) {
+					t.Errorf("α=%g y=%g: ψ=%g, table=%g", alpha, y, got, want)
+				}
+			}
+		}
+	})
+	t.Run("neglog", func(t *testing.T) {
+		for _, y := range ys {
+			if got := Psi(NegLog{}, mu, S, y); !almostEqual(got, 1, 1e-12) {
+				t.Errorf("y=%g: ψ=%g, want constant 1", y, got)
+			}
+		}
+	})
+}
+
+func TestPsiEdgeCases(t *testing.T) {
+	f := Step{Tau: 1}
+	if v := Psi(f, 0.05, 50, 0); v != 0 {
+		t.Errorf("ψ(0)=%g, want 0", v)
+	}
+	if v := Psi(f, 0.05, 0, 5); v != 0 {
+		t.Errorf("ψ with no servers = %g, want 0", v)
+	}
+}
+
+func TestSupportsPureP2P(t *testing.T) {
+	tests := []struct {
+		f    Function
+		want bool
+	}{
+		{Step{Tau: 1}, true},
+		{Exponential{Nu: 1}, true},
+		{Power{Alpha: 0}, true},
+		{Power{Alpha: -2}, true},
+		{Power{Alpha: 1.5}, false},
+		{NegLog{}, false},
+	}
+	for _, tt := range tests {
+		if got := SupportsPureP2P(tt.f); got != tt.want {
+			t.Errorf("%s: SupportsPureP2P=%v, want %v", tt.f.Name(), got, tt.want)
+		}
+	}
+}
+
+func TestPowerValidate(t *testing.T) {
+	for _, alpha := range []float64{2, 2.5, 1} {
+		if err := (Power{Alpha: alpha}).Validate(); err == nil {
+			t.Errorf("α=%g: expected validation error", alpha)
+		}
+	}
+	for _, alpha := range []float64{1.99, 1.5, 0.5, 0, -5} {
+		if err := (Power{Alpha: alpha}).Validate(); err != nil {
+			t.Errorf("α=%g: unexpected error %v", alpha, err)
+		}
+	}
+}
+
+// Property: for random parameters, ψ(y)·y/S == ϕ(S/y) exactly (Property 2
+// is a pure algebraic identity in this package).
+func TestPsiPhiIdentityProperty(t *testing.T) {
+	prop := func(tauRaw, muRaw, yRaw float64) bool {
+		tau := 0.1 + math.Abs(math.Mod(tauRaw, 50))
+		mu := 0.001 + math.Abs(math.Mod(muRaw, 1))
+		y := 0.1 + math.Abs(math.Mod(yRaw, 100))
+		const S = 50.0
+		f := Step{Tau: tau}
+		return almostEqual(Psi(f, mu, S, y)*y/S, f.Phi(mu, S/y), 1e-12)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: expected gain lies between the t→∞ limit and h(0+).
+func TestExpectedGainBoundsProperty(t *testing.T) {
+	prop := func(rateRaw float64, pick uint8) bool {
+		rate := 0.001 + math.Abs(math.Mod(rateRaw, 50))
+		fams := allFamilies()
+		f := fams[int(pick)%len(fams)]
+		v := f.ExpectedGain(rate)
+		if math.IsNaN(v) {
+			return false
+		}
+		return v <= f.H0()+1e-12 && v >= f.ExpectedGain(0)-1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenericMatchesExponential(t *testing.T) {
+	nu := 0.4
+	g := Generic{
+		Label:    "generic-exp",
+		HFunc:    func(t float64) float64 { return math.Exp(-nu * t) },
+		CDensity: func(t float64) float64 { return nu * math.Exp(-nu*t) },
+		H0Value:  1,
+	}
+	ref := Exponential{Nu: nu}
+	for _, r := range []float64{0.1, 1, 5} {
+		if !almostEqual(g.ExpectedGain(r), ref.ExpectedGain(r), 1e-6) {
+			t.Errorf("rate %g: generic=%g exact=%g", r, g.ExpectedGain(r), ref.ExpectedGain(r))
+		}
+	}
+	for _, x := range []float64{1, 5, 20} {
+		if !almostEqual(g.Phi(0.05, x), ref.Phi(0.05, x), 1e-6) {
+			t.Errorf("x=%g: generic ϕ=%g exact=%g", x, g.Phi(0.05, x), ref.Phi(0.05, x))
+		}
+	}
+}
+
+func TestGenericFiniteDifferenceDensity(t *testing.T) {
+	// Without an explicit density the finite-difference fallback should
+	// still reproduce the exponential family to a few digits.
+	nu := 0.7
+	g := Generic{
+		Label:   "generic-fd",
+		HFunc:   func(t float64) float64 { return math.Exp(-nu * t) },
+		H0Value: 1,
+	}
+	ref := Exponential{Nu: nu}
+	if !almostEqual(g.ExpectedGain(1), ref.ExpectedGain(1), 1e-4) {
+		t.Errorf("generic FD=%g exact=%g", g.ExpectedGain(1), ref.ExpectedGain(1))
+	}
+}
+
+func TestParse(t *testing.T) {
+	tests := []struct {
+		spec    string
+		want    string
+		wantErr bool
+	}{
+		{"step:10", "step(τ=10)", false},
+		{"exp:0.5", "exp(ν=0.5)", false},
+		{"exponential:2", "exp(ν=2)", false},
+		{"power:-1", "power(α=-1)", false},
+		{"power:1.5", "power(α=1.5)", false},
+		{"neglog", "neglog", false},
+		{"log", "neglog", false},
+		{"step", "", true},
+		{"step:-1", "", true},
+		{"exp:0", "", true},
+		{"power:2", "", true},
+		{"power:1", "", true},
+		{"power:xyz", "", true},
+		{"bogus:1", "", true},
+	}
+	for _, tt := range tests {
+		f, err := Parse(tt.spec)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("Parse(%q): expected error, got %v", tt.spec, f.Name())
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tt.spec, err)
+			continue
+		}
+		if f.Name() != tt.want {
+			t.Errorf("Parse(%q) = %s, want %s", tt.spec, f.Name(), tt.want)
+		}
+	}
+}
+
+func TestOptimalExponentFigure2(t *testing.T) {
+	// Figure 2's three landmark points: α→1 gives proportional (exponent 1),
+	// α=0 gives square root (1/2), α→2 gives full skew (exponent → ∞).
+	if got := (Power{Alpha: 0}).OptimalExponent(); !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("α=0: exponent %g, want 1/2", got)
+	}
+	if got := (Power{Alpha: 1}).OptimalExponent(); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("α=1: exponent %g, want 1", got)
+	}
+	if got := (Power{Alpha: 1.9}).OptimalExponent(); got < 9 {
+		t.Errorf("α=1.9: exponent %g, want ≥ 9", got)
+	}
+	if got := (Power{Alpha: -2}).OptimalExponent(); !almostEqual(got, 0.25, 1e-12) {
+		t.Errorf("α=-2: exponent %g, want 1/4", got)
+	}
+}

@@ -1,0 +1,169 @@
+package welfare
+
+import (
+	"math"
+	"testing"
+
+	"impatience/internal/alloc"
+	"impatience/internal/demand"
+	"impatience/internal/trace"
+	"impatience/internal/utility"
+)
+
+// Dedicated-node case: servers and clients are disjoint (C ∩ S = ∅),
+// which is where the unbounded-at-zero utilities (inverse power, neglog)
+// are admissible.
+
+func dedicated(f utility.Function, items, servers, clients int, mu float64) Hetero {
+	srv := make([]int, servers)
+	for i := range srv {
+		srv[i] = i
+	}
+	cli := make([]int, clients)
+	for i := range cli {
+		cli[i] = servers + i
+	}
+	return Hetero{
+		Utility: f,
+		Pop:     demand.Pareto(items, 1, 1),
+		Profile: demand.UniformProfile(items, clients),
+		Rates:   trace.UniformRates(servers+clients, mu),
+		Clients: cli,
+		Servers: srv,
+	}
+}
+
+// The dedicated-node Lemma-1 evaluation must match the Eq. 3 closed form.
+func TestDedicatedMatchesEq3(t *testing.T) {
+	const (
+		items   = 5
+		servers = 6
+		clients = 4
+		mu      = 0.08
+	)
+	for _, f := range []utility.Function{
+		utility.Step{Tau: 4},
+		utility.NegLog{},          // unbounded h(0+): dedicated only
+		utility.Power{Alpha: 1.5}, // same
+	} {
+		s := dedicated(f, items, servers, clients, mu)
+		counts := alloc.Counts{3, 2, 1, 4, 1}
+		p, err := alloc.Place(counts, servers, 2)
+		if err != nil {
+			t.Fatalf("Place: %v", err)
+		}
+		got := s.Welfare(p)
+		var want float64
+		for i, d := range s.Pop.Rates {
+			want += d * f.ExpectedGain(mu*float64(counts[i]))
+		}
+		if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+			t.Errorf("%s: hetero=%g eq3=%g", f.Name(), got, want)
+		}
+	}
+}
+
+// Greedy submodular in the dedicated case with an unbounded utility must
+// still produce a feasible allocation that covers every demanded item
+// when capacity allows (neglog's first-copy marginal is infinite).
+func TestDedicatedGreedyNegLog(t *testing.T) {
+	s := dedicated(utility.NegLog{}, 4, 6, 4, 0.05)
+	p, err := s.GreedySubmodular(2) // capacity 12 ≥ 4 items
+	if err != nil {
+		t.Fatalf("GreedySubmodular: %v", err)
+	}
+	counts := p.Counts()
+	for i, c := range counts {
+		if c == 0 {
+			t.Errorf("item %d uncovered under neglog", i)
+		}
+	}
+	if counts.Total() != 12 {
+		t.Errorf("capacity not exhausted: %v", counts)
+	}
+	if u := s.Welfare(p); math.IsInf(u, -1) || math.IsNaN(u) {
+		t.Errorf("welfare %g", u)
+	}
+}
+
+// In the dedicated case a client never fulfills immediately, so welfare
+// is independent of *which* servers hold the copies under uniform rates.
+func TestDedicatedPlacementIrrelevantUnderUniformRates(t *testing.T) {
+	s := dedicated(utility.Exponential{Nu: 0.3}, 3, 5, 3, 0.06)
+	counts := alloc.Counts{2, 2, 1}
+	p1, err := alloc.Place(counts, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A different concrete placement with the same counts.
+	p2 := alloc.NewPlacement(3, 5, 1)
+	p2.Set(0, 4, true)
+	p2.Set(0, 3, true)
+	p2.Set(1, 0, true)
+	p2.Set(1, 1, true)
+	p2.Set(2, 2, true)
+	u1, u2 := s.Welfare(p1), s.Welfare(p2)
+	if math.Abs(u1-u2) > 1e-12*math.Max(1, math.Abs(u1)) {
+		t.Errorf("welfare depends on placement under uniform rates: %g vs %g", u1, u2)
+	}
+}
+
+// Pure P2P vs dedicated comparison (§4.2): as N grows with x fixed, the
+// pure-P2P correction (1 − x/N) approaches 1 and the two cases agree.
+func TestPureP2PApproachesDedicated(t *testing.T) {
+	f := utility.Step{Tau: 10}
+	pop := demand.Pareto(5, 1, 1)
+	x := []float64{4, 3, 2, 2, 1}
+	var prevGap float64 = math.Inf(1)
+	for _, n := range []int{20, 100, 1000} {
+		hd := Homogeneous{Utility: f, Pop: pop, Mu: 0.05, Servers: n, Clients: n}
+		hp := hd
+		hp.PureP2P = true
+		gap := math.Abs(hd.Welfare(x) - hp.Welfare(x))
+		if gap > prevGap+1e-12 {
+			t.Errorf("gap grew at N=%d: %g > %g", n, gap, prevGap)
+		}
+		prevGap = gap
+	}
+	if prevGap > 1e-3 {
+		t.Errorf("residual dedicated-vs-pure gap %g at N=1000", prevGap)
+	}
+}
+
+// Non-uniform profile: demand concentrated at one client weights that
+// client's contact rates.
+func TestHeteroNonUniformProfile(t *testing.T) {
+	// 2 servers (0,1), 2 clients (2,3). Item 0's demand comes only from
+	// client 2, which can only meet server 0.
+	rates := trace.NewRateMatrix(4)
+	rates.Set(0, 2, 0.5) // client 2 ↔ server 0
+	rates.Set(1, 3, 0.5) // client 3 ↔ server 1
+	s := Hetero{
+		Utility: utility.Step{Tau: 3},
+		Pop:     demand.Popularity{Rates: []float64{1}},
+		Profile: demand.Profile{P: [][]float64{{1, 0}}}, // all demand at client 2
+		Rates:   rates,
+		Clients: []int{2, 3},
+		Servers: []int{0, 1},
+	}
+	// A copy on server 1 is worthless; on server 0 it is worth a lot.
+	p0 := alloc.NewPlacement(1, 2, 1)
+	p0.Set(0, 0, true)
+	p1 := alloc.NewPlacement(1, 2, 1)
+	p1.Set(0, 1, true)
+	u0, u1 := s.Welfare(p0), s.Welfare(p1)
+	if !(u0 > u1) {
+		t.Errorf("placement at the reachable server not preferred: %g vs %g", u0, u1)
+	}
+	if u1 != 0 {
+		t.Errorf("unreachable copy earned %g, want 0", u1)
+	}
+	// Greedy must discover this.
+	g, err := s.GreedySubmodular(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Has(0, 0) {
+		t.Error("greedy failed to place the item at the only reachable server")
+	}
+}

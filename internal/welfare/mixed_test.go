@@ -1,0 +1,195 @@
+package welfare
+
+import (
+	"math"
+	"testing"
+
+	"impatience/internal/alloc"
+	"impatience/internal/demand"
+	"impatience/internal/trace"
+	"impatience/internal/utility"
+)
+
+// mixedSystem: half the catalog is deadline content (step), half is
+// waiting-cost content (negative power).
+func mixedSystem(items, servers int) Homogeneous {
+	us := make([]utility.Function, items)
+	for i := range us {
+		if i%2 == 0 {
+			us[i] = utility.Step{Tau: 10}
+		} else {
+			us[i] = utility.Power{Alpha: 0}
+		}
+	}
+	return Homogeneous{
+		Utilities: us,
+		Pop:       demand.Pareto(items, 1, 1),
+		Mu:        0.05,
+		Servers:   servers,
+		Clients:   servers,
+		PureP2P:   true,
+	}
+}
+
+func TestMixedWelfareMatchesManualSum(t *testing.T) {
+	h := mixedSystem(4, 20)
+	x := []float64{5, 3, 2, 7}
+	var want float64
+	for i, d := range h.Pop.Rates {
+		f := h.Utilities[i]
+		frac := x[i] / 20
+		want += d * (frac*f.H0() + (1-frac)*f.ExpectedGain(0.05*x[i]))
+	}
+	if got := h.Welfare(x); math.Abs(got-want) > 1e-12*math.Max(1, math.Abs(want)) {
+		t.Errorf("got %g, want %g", got, want)
+	}
+}
+
+func TestMixedFallbackToSharedUtility(t *testing.T) {
+	h := mixedSystem(3, 10)
+	h.Utilities[1] = nil
+	h.Utility = utility.Exponential{Nu: 0.5}
+	x := []float64{2, 2, 2}
+	got := h.Welfare(x)
+	// Item 1 must use the exponential fallback.
+	f := utility.Exponential{Nu: 0.5}
+	frac := 2.0 / 10
+	wantItem1 := h.Pop.Rates[1] * (frac*f.H0() + (1-frac)*f.ExpectedGain(0.1))
+	h2 := h
+	h2.Pop = demand.Popularity{Rates: []float64{0, h.Pop.Rates[1], 0}}
+	if one := h2.Welfare(x); math.Abs(one-wantItem1) > 1e-12 {
+		t.Errorf("fallback item welfare %g, want %g", one, wantItem1)
+	}
+	_ = got
+}
+
+func TestMixedValidate(t *testing.T) {
+	h := mixedSystem(4, 10)
+	if err := h.Validate(); err != nil {
+		t.Fatalf("valid mixed system rejected: %v", err)
+	}
+	h.Utilities = h.Utilities[:2] // wrong length
+	if err := h.Validate(); err == nil {
+		t.Error("mismatched utilities length accepted")
+	}
+	h = mixedSystem(4, 10)
+	h.Utilities[0] = utility.NegLog{} // unbounded in pure P2P
+	if err := h.Validate(); err == nil {
+		t.Error("unbounded per-item utility accepted in pure P2P")
+	}
+}
+
+// The mixed greedy spends cache where the marginal is highest: deadline
+// items saturate quickly, cost items keep absorbing replicas (their
+// marginal decays polynomially, not exponentially).
+func TestMixedGreedySpendsByMarginal(t *testing.T) {
+	const (
+		items   = 6
+		servers = 30
+		rho     = 3
+	)
+	us := make([]utility.Function, items)
+	for i := range us {
+		if i < 3 {
+			us[i] = utility.Step{Tau: 2} // tight deadline: marginal dies fast
+		} else {
+			us[i] = utility.Power{Alpha: 0} // waiting cost: heavy tail
+		}
+	}
+	h := Homogeneous{
+		Utilities: us,
+		Pop:       demand.Uniform(items, 1), // equal demand isolates the utility effect
+		Mu:        0.05,
+		Servers:   servers,
+		Clients:   servers,
+		PureP2P:   true,
+	}
+	c, err := h.GreedyOptimal(rho)
+	if err != nil {
+		t.Fatalf("GreedyOptimal: %v", err)
+	}
+	if c.Total() != servers*rho {
+		t.Fatalf("budget not exhausted: %v", c)
+	}
+	// With equal demand, the waiting-cost items should receive more
+	// replicas than the tight-deadline items (whose gain saturates at 1).
+	stepShare := c[0] + c[1] + c[2]
+	costShare := c[3] + c[4] + c[5]
+	if costShare <= stepShare {
+		t.Errorf("waiting-cost items got %d ≤ deadline items %d: %v", costShare, stepShare, c)
+	}
+	// Sanity: greedy beats the uniform split.
+	uni := alloc.Uniform(items, servers, rho)
+	if h.WelfareCounts(c) < h.WelfareCounts(uni) {
+		t.Errorf("greedy %g below uniform %g", h.WelfareCounts(c), h.WelfareCounts(uni))
+	}
+}
+
+// Per-item relaxed optimum satisfies the per-item balance condition
+// d_i·ϕ_i(x_i) = λ.
+func TestMixedRelaxedBalance(t *testing.T) {
+	h := mixedSystem(6, 40)
+	x, err := h.RelaxedOptimal(3)
+	if err != nil {
+		t.Fatalf("RelaxedOptimal: %v", err)
+	}
+	var total float64
+	var lambda float64
+	seen := false
+	for i, v := range x {
+		total += v
+		if v > 1e-6 && v < 40-1e-6 {
+			m := h.Pop.Rates[i] * h.Utilities[i].Phi(h.Mu, v)
+			if !seen {
+				lambda, seen = m, true
+			} else if math.Abs(m-lambda) > 1e-3*lambda {
+				t.Errorf("balance violated at item %d: %g vs %g", i, m, lambda)
+			}
+		}
+	}
+	if math.Abs(total-120) > 1e-6 {
+		t.Errorf("budget %g, want 120", total)
+	}
+	if !seen {
+		t.Error("no interior coordinate")
+	}
+}
+
+// Hetero evaluator with per-item utilities must agree with Homogeneous on
+// uniform rates.
+func TestMixedHeteroReducesToHomogeneous(t *testing.T) {
+	const (
+		items = 4
+		nodes = 8
+		rho   = 2
+	)
+	us := []utility.Function{
+		utility.Step{Tau: 5}, utility.Exponential{Nu: 0.2},
+		utility.Power{Alpha: 0.5}, utility.Step{Tau: 50},
+	}
+	ids := make([]int, nodes)
+	for i := range ids {
+		ids[i] = i
+	}
+	het := Hetero{
+		Utilities: us,
+		Pop:       demand.Pareto(items, 1, 1),
+		Profile:   demand.UniformProfile(items, nodes),
+		Rates:     trace.UniformRates(nodes, 0.07),
+		Clients:   ids,
+		Servers:   ids,
+	}
+	hom := Homogeneous{
+		Utilities: us, Pop: het.Pop, Mu: 0.07,
+		Servers: nodes, Clients: nodes, PureP2P: true,
+	}
+	counts := alloc.Counts{3, 1, 2, 5}
+	p, err := alloc.Place(counts, nodes, rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := het.Welfare(p), hom.WelfareCounts(counts)
+	if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+		t.Errorf("hetero %g vs homogeneous %g", got, want)
+	}
+}

@@ -1,0 +1,83 @@
+package welfare
+
+import (
+	"fmt"
+	"math"
+
+	"impatience/internal/utility"
+)
+
+// MeanBurst returns E[ψ_unit(Y)] — the expected number of replicas an
+// unscaled Property-2 reaction creates per fulfillment — for an item with
+// x replicas: the query counter Y of a fulfilled request is geometric
+// with success probability p = x/|S| (each met node caches the item with
+// that probability), so the expectation is Σ_y ψ(y)·p(1−p)^{y−1}.
+//
+// This matters because ψ is applied to the *random* counter, not to its
+// mean: for the convex reactions of waiting-cost utilities (ψ ∝ y^{1−α},
+// α < 1) the burst expectation exceeds ψ(E[Y]) substantially, and its
+// magnitude varies by orders of magnitude across utility families.
+func MeanBurst(f utility.Function, mu float64, servers int, x float64) float64 {
+	S := float64(servers)
+	if x <= 0 || x > S {
+		return math.NaN()
+	}
+	p := x / S
+	if p >= 1 {
+		return utility.Psi(f, mu, S, 1)
+	}
+	var sum float64
+	q := 1.0 // (1-p)^{y-1}
+	for y := 1; ; y++ {
+		w := p * q
+		sum += w * utility.Psi(f, mu, S, float64(y))
+		q *= 1 - p
+		if q < 1e-12 && float64(y) > 3/p {
+			break
+		}
+		if y > 1_000_000 {
+			break
+		}
+	}
+	return sum
+}
+
+// ReactionScale returns the proportionality constant for the Property-2
+// reaction such that, at the relaxed optimal allocation, the
+// demand-weighted mean replication burst per fulfillment equals kappa
+// replicas. The fixed point of QCR is invariant to this constant
+// (Section 5.2), but the variance of the cache allocation around it is
+// not: too large a scale churns the global cache faster than it mixes
+// and the concave welfare pays for every fluctuation, while too small a
+// scale slows convergence. Normalizing the burst decouples the choice
+// from the utility family — the raw ψ magnitudes differ by orders of
+// magnitude between, say, step and steep power utilities.
+//
+// kappa ≈ 0.15 works well at the paper's scale (50 nodes, ρ=5). The
+// computation uses only design-time information (demand, impatience, µ,
+// |S|) — exactly the inputs the paper already assumes when tuning ψ.
+func (h Homogeneous) ReactionScale(rho int, kappa float64) (float64, error) {
+	if kappa <= 0 {
+		return 0, fmt.Errorf("welfare: kappa %g must be positive", kappa)
+	}
+	x, err := h.RelaxedOptimal(rho)
+	if err != nil {
+		return 0, err
+	}
+	var num, den float64
+	for i, d := range h.Pop.Rates {
+		if d <= 0 || x[i] <= 0 {
+			continue
+		}
+		b := MeanBurst(h.utilityFor(i), h.Mu, h.Servers, x[i])
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			continue
+		}
+		num += d * b
+		den += d
+	}
+	if den == 0 || num == 0 {
+		return 0, fmt.Errorf("welfare: degenerate burst normalization")
+	}
+	return kappa * den / num, nil
+}

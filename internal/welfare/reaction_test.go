@@ -1,0 +1,128 @@
+package welfare
+
+import (
+	"math"
+	"testing"
+
+	"impatience/internal/demand"
+	"impatience/internal/utility"
+)
+
+func TestMeanBurstLinearReaction(t *testing.T) {
+	// For power α=0 the unscaled reaction is linear: ψ(y) = y/(µS), so
+	// E[ψ(Y)] = E[Y]/(µS) with E[Y] = S/x exactly (geometric mean 1/p).
+	const (
+		mu = 0.05
+		S  = 50
+	)
+	f := utility.Power{Alpha: 0}
+	for _, x := range []float64{2, 5, 10, 25} {
+		got := MeanBurst(f, mu, S, x)
+		want := (float64(S) / x) / (mu * float64(S))
+		if math.Abs(got-want) > 1e-6*want {
+			t.Errorf("x=%g: MeanBurst=%g, want %g", x, got, want)
+		}
+	}
+}
+
+func TestMeanBurstConvexityGap(t *testing.T) {
+	// For the convex reaction of α=-1 (ψ ∝ y²), E[ψ(Y)] must exceed
+	// ψ(E[Y]) — the variance effect ReactionScale exists to absorb.
+	const (
+		mu = 0.05
+		S  = 50.0
+	)
+	f := utility.Power{Alpha: -1}
+	x := 5.0
+	burst := MeanBurst(f, mu, int(S), x)
+	atMean := utility.Psi(f, mu, S, S/x)
+	if burst <= atMean {
+		t.Errorf("E[ψ(Y)]=%g not above ψ(E[Y])=%g for convex ψ", burst, atMean)
+	}
+	// Geometric: E[Y²] = (2-p)/p² ⇒ ratio ≈ 2-p for ψ ∝ y².
+	p := x / S
+	wantRatio := 2 - p
+	if math.Abs(burst/atMean-wantRatio) > 0.02*wantRatio {
+		t.Errorf("ratio %g, want %g", burst/atMean, wantRatio)
+	}
+}
+
+func TestMeanBurstEdges(t *testing.T) {
+	f := utility.Step{Tau: 10}
+	if v := MeanBurst(f, 0.05, 50, 0); !math.IsNaN(v) {
+		t.Errorf("x=0: %g, want NaN", v)
+	}
+	if v := MeanBurst(f, 0.05, 50, 51); !math.IsNaN(v) {
+		t.Errorf("x>S: %g, want NaN", v)
+	}
+	if v := MeanBurst(f, 0.05, 50, 50); math.IsNaN(v) || v < 0 {
+		t.Errorf("x=S: %g", v)
+	}
+}
+
+func TestReactionScaleNormalizesBurst(t *testing.T) {
+	const kappa = 0.1
+	for _, f := range []utility.Function{
+		utility.Step{Tau: 10},
+		utility.Exponential{Nu: 0.1},
+		utility.Power{Alpha: 0},
+		utility.Power{Alpha: -1},
+	} {
+		h := Homogeneous{
+			Utility: f, Pop: demand.Pareto(20, 1, 2), Mu: 0.05,
+			Servers: 50, Clients: 50,
+		}
+		scale, err := h.ReactionScale(5, kappa)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name(), err)
+		}
+		if scale <= 0 {
+			t.Fatalf("%s: scale %g", f.Name(), scale)
+		}
+		// Recompute the demand-weighted burst with that scale: must be κ.
+		x, err := h.RelaxedOptimal(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var num, den float64
+		for i, d := range h.Pop.Rates {
+			num += d * scale * MeanBurst(f, h.Mu, h.Servers, x[i])
+			den += d
+		}
+		if got := num / den; math.Abs(got-kappa) > 1e-6*kappa {
+			t.Errorf("%s: normalized burst %g, want %g", f.Name(), got, kappa)
+		}
+	}
+}
+
+func TestReactionScaleOrdersAcrossFamilies(t *testing.T) {
+	// Steeper waiting costs need much smaller scales.
+	mk := func(alpha float64) float64 {
+		h := Homogeneous{
+			Utility: utility.Power{Alpha: alpha}, Pop: demand.Pareto(50, 1, 2),
+			Mu: 0.05, Servers: 50, Clients: 50,
+		}
+		s, err := h.ReactionScale(5, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	s0, s1, s2 := mk(0), mk(-1), mk(-2)
+	if !(s0 > s1 && s1 > s2) {
+		t.Errorf("scales not decreasing with steepness: %g, %g, %g", s0, s1, s2)
+	}
+}
+
+func TestReactionScaleRejectsBadKappa(t *testing.T) {
+	h := Homogeneous{
+		Utility: utility.Step{Tau: 1}, Pop: demand.Pareto(5, 1, 1),
+		Mu: 0.05, Servers: 10, Clients: 10,
+	}
+	if _, err := h.ReactionScale(2, 0); err == nil {
+		t.Error("κ=0 accepted")
+	}
+	if _, err := h.ReactionScale(2, -1); err == nil {
+		t.Error("κ<0 accepted")
+	}
+}

@@ -1,0 +1,442 @@
+// Package welfare evaluates the social welfare U(x) of Section 3.5 — the
+// aggregate expected delay-utility of all client demand under a given
+// cache allocation — and computes optimal allocations:
+//
+//   - closed-form homogeneous evaluators (Eqs. 2–5, both contact models,
+//     dedicated-node and pure-P2P populations);
+//   - the general heterogeneous evaluator of Lemma 1, driven by a pairwise
+//     contact-rate matrix;
+//   - the homogeneous greedy of Theorem 2 (optimal, by concavity);
+//   - the lazy submodular greedy of Theorem 1 + Nemhauser et al., a
+//     (1−1/e)-approximation for heterogeneous systems;
+//   - the relaxed (real-valued) optimum via water-filling on the balance
+//     condition of Property 1.
+package welfare
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"impatience/internal/alloc"
+	"impatience/internal/demand"
+	"impatience/internal/numeric"
+	"impatience/internal/trace"
+	"impatience/internal/utility"
+)
+
+// Homogeneous describes a system with uniform pairwise contact rate µ and
+// uniform item popularity across clients (π_{i,n} = 1/N), the setting of
+// Section 4. In the pure-P2P case clients double as servers, enabling
+// immediate fulfillment of a request for a locally cached item.
+type Homogeneous struct {
+	Utility utility.Function
+	// Utilities, when non-empty, gives each item its own delay-utility
+	// (Section 3.2); nil entries fall back to Utility.
+	Utilities []utility.Function
+	Pop       demand.Popularity
+	Mu        float64 // pairwise contact rate
+	Servers   int     // |S|
+	Clients   int     // |C| = N; used by the pure-P2P correction factor
+	PureP2P   bool    // C = S (true) or C ∩ S = ∅ (false)
+}
+
+// Validate reports structural errors.
+func (h Homogeneous) Validate() error {
+	switch {
+	case h.Utility == nil && len(h.Utilities) == 0:
+		return fmt.Errorf("welfare: nil utility")
+	case h.Mu <= 0:
+		return fmt.Errorf("welfare: µ=%g", h.Mu)
+	case h.Servers <= 0:
+		return fmt.Errorf("welfare: %d servers", h.Servers)
+	case h.PureP2P && h.Clients != h.Servers:
+		return fmt.Errorf("welfare: pure P2P requires |C|=|S| (got %d,%d)", h.Clients, h.Servers)
+	case h.PureP2P && h.Utility != nil && !utility.SupportsPureP2P(h.Utility):
+		return fmt.Errorf("welfare: %s has unbounded h(0+); dedicated-node case only", h.Utility.Name())
+	case !h.PureP2P && h.Clients <= 0:
+		return fmt.Errorf("welfare: %d clients", h.Clients)
+	}
+	return validateUtilities(h.Utilities, h.Pop.Items(), h.PureP2P)
+}
+
+// itemGain returns the expected gain of one request for item i with x
+// replicas (real-valued), under the continuous-time contact model:
+// Eq. (3) per-item term for dedicated nodes, Eq. (5) for pure P2P.
+func (h Homogeneous) itemGain(i int, x float64) float64 {
+	f := h.utilityFor(i)
+	g := f.ExpectedGain(h.Mu * x)
+	if !h.PureP2P {
+		return g
+	}
+	frac := x / float64(h.Clients)
+	if frac > 1 {
+		frac = 1
+	}
+	return frac*f.H0() + (1-frac)*g
+}
+
+// Welfare evaluates U(x) for a real-valued replica vector under the
+// continuous-time model. Items with zero demand contribute nothing even
+// if their gain would be −∞ (no requests are ever made for them).
+func (h Homogeneous) Welfare(x []float64) float64 {
+	var u float64
+	for i, d := range h.Pop.Rates {
+		if d == 0 {
+			continue
+		}
+		u += d * h.itemGain(i, x[i])
+	}
+	return u
+}
+
+// WelfareCounts evaluates U(x) for an integer allocation.
+func (h Homogeneous) WelfareCounts(c alloc.Counts) float64 {
+	x := make([]float64, len(c))
+	for i, v := range c {
+		x[i] = float64(v)
+	}
+	return h.Welfare(x)
+}
+
+// WelfareDiscrete evaluates the discrete-time social welfare of Eq. (2)
+// (dedicated) or Eq. (4) (pure P2P) for slot length delta: the per-slot
+// miss probability of an item with x replicas is q = (1−µδ)^x.
+func (h Homogeneous) WelfareDiscrete(c alloc.Counts, delta float64) float64 {
+	var u float64
+	for i, d := range h.Pop.Rates {
+		if d == 0 {
+			continue
+		}
+		f := h.utilityFor(i)
+		q := math.Pow(1-h.Mu*delta, float64(c[i]))
+		g := utility.DiscreteExpectedGain(f, q, delta)
+		if h.PureP2P {
+			frac := float64(c[i]) / float64(h.Clients)
+			if frac > 1 {
+				frac = 1
+			}
+			// A request from a holder is fulfilled immediately (before the
+			// first slot elapses): gain h(0+) ~ here h evaluated at 0⁺,
+			// approximated by H0 as in the continuous model.
+			g = frac*f.H0() + (1-frac)*g
+		}
+		u += d * g
+	}
+	return u
+}
+
+// GreedyOptimal computes the optimal integer allocation of Theorem 2 for
+// per-server capacity rho: repeatedly grant the next cache slot to the
+// item with the largest marginal welfare gain. Concavity of the per-item
+// gain makes the greedy exact. The returned allocation uses the full
+// capacity unless every item already has |S| replicas.
+func (h Homogeneous) GreedyOptimal(rho int) (alloc.Counts, error) {
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	items := h.Pop.Items()
+	c := make(alloc.Counts, items)
+	budget := alloc.Capacity(h.Servers, rho)
+	pq := &marginalHeap{}
+	for i := 0; i < items; i++ {
+		if h.Pop.Rates[i] <= 0 {
+			continue
+		}
+		pq.push(marginal{item: i, gain: h.marginalGain(i, 0)})
+	}
+	for placed := 0; placed < budget && pq.Len() > 0; placed++ {
+		m := pq.pop()
+		i := m.item
+		c[i]++
+		if c[i] < h.Servers {
+			pq.push(marginal{item: i, gain: h.marginalGain(i, c[i])})
+		}
+	}
+	// Spill leftover capacity (all demanded items saturated) onto
+	// zero-demand items; it cannot hurt.
+	placed := c.Total()
+	for i := 0; i < items && placed < budget; i++ {
+		for c[i] < h.Servers && placed < budget {
+			c[i]++
+			placed++
+		}
+	}
+	return c, nil
+}
+
+// marginalGain is d_i·(G(k+1) − G(k)): the welfare increase from the
+// (k+1)-th replica of item i.
+func (h Homogeneous) marginalGain(i, k int) float64 {
+	lo := h.itemGain(i, float64(k))
+	hi := h.itemGain(i, float64(k+1))
+	d := h.Pop.Rates[i]
+	gain := d * (hi - lo)
+	if math.IsNaN(gain) {
+		return 0
+	}
+	// G(0) may be −∞ (cost-type utilities): the first replica has infinite
+	// marginal value; order those by demand.
+	if math.IsInf(gain, 1) {
+		return math.MaxFloat64 * math.Min(1, d)
+	}
+	return gain
+}
+
+// RelaxedOptimal solves the continuous relaxation of the welfare
+// maximization (Theorem 2) by water-filling on Property 1's balance
+// condition d_i·ϕ(x_i) = λ, using the dedicated-node transform ϕ. The
+// budget is the full capacity ρ·|S|; per-item caps are |S|. For large
+// systems this tracks the integer optimum closely (Section 4.2).
+func (h Homogeneous) RelaxedOptimal(rho int) ([]float64, error) {
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	p := numeric.WaterFillProblem{
+		Weights: h.Pop.Rates,
+		Caps:    capsFor(h.Pop.Items(), float64(h.Servers)),
+		Budget:  float64(alloc.Capacity(h.Servers, rho)),
+	}
+	if len(h.Utilities) > 0 {
+		p.DerivFor = func(i int, x float64) float64 { return h.utilityFor(i).Phi(h.Mu, x) }
+	} else {
+		p.Deriv = func(x float64) float64 { return h.Utility.Phi(h.Mu, x) }
+	}
+	return numeric.WaterFill(p)
+}
+
+func capsFor(items int, cap float64) []float64 {
+	caps := make([]float64, items)
+	for i := range caps {
+		caps[i] = cap
+	}
+	return caps
+}
+
+// marginal/heap: a max-heap of per-item marginal gains.
+type marginal struct {
+	item int
+	gain float64
+}
+
+type marginalHeap struct{ items []marginal }
+
+func (h marginalHeap) Len() int           { return len(h.items) }
+func (h marginalHeap) Less(a, b int) bool { return h.items[a].gain > h.items[b].gain }
+func (h marginalHeap) Swap(a, b int)      { h.items[a], h.items[b] = h.items[b], h.items[a] }
+func (h *marginalHeap) Push(x any)        { h.items = append(h.items, x.(marginal)) }
+func (h *marginalHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	v := old[n-1]
+	h.items = old[:n-1]
+	return v
+}
+func (h *marginalHeap) push(m marginal) { heap.Push(h, m) }
+func (h *marginalHeap) pop() marginal   { return heap.Pop(h).(marginal) }
+
+// ---------------------------------------------------------------------------
+// Heterogeneous systems (Lemma 1).
+
+// Hetero describes a system with arbitrary pairwise contact rates. Nodes
+// 0..Rates.Nodes-1 are partitioned (possibly overlappingly) into clients
+// and servers; the popularity profile maps items to clients.
+type Hetero struct {
+	Utility utility.Function
+	// Utilities, when non-empty, gives each item its own delay-utility
+	// (Section 3.2); nil entries fall back to Utility.
+	Utilities []utility.Function
+	Pop       demand.Popularity
+	Profile   demand.Profile // rows sum to 1 over Clients indices
+	Rates     *trace.RateMatrix
+	Clients   []int // node ids that issue requests; Profile columns follow this order
+	Servers   []int // node ids that cache content
+}
+
+// Validate reports structural errors.
+func (s Hetero) Validate() error {
+	switch {
+	case s.Utility == nil && len(s.Utilities) == 0:
+		return fmt.Errorf("welfare: nil utility")
+	case s.Rates == nil:
+		return fmt.Errorf("welfare: nil rate matrix")
+	case len(s.Clients) == 0 || len(s.Servers) == 0:
+		return fmt.Errorf("welfare: empty client or server set")
+	case len(s.Profile.P) != s.Pop.Items():
+		return fmt.Errorf("welfare: profile rows %d != items %d", len(s.Profile.P), s.Pop.Items())
+	}
+	for _, row := range s.Profile.P {
+		if len(row) != len(s.Clients) {
+			return fmt.Errorf("welfare: profile row width %d != clients %d", len(row), len(s.Clients))
+		}
+	}
+	for _, n := range append(append([]int(nil), s.Clients...), s.Servers...) {
+		if n < 0 || n >= s.Rates.Nodes {
+			return fmt.Errorf("welfare: node %d outside rate matrix (%d nodes)", n, s.Rates.Nodes)
+		}
+	}
+	return validateUtilities(s.Utilities, s.Pop.Items(), false)
+}
+
+// serverIndex returns a map from node id to index in Servers.
+func (s Hetero) serverIndex() map[int]int {
+	idx := make(map[int]int, len(s.Servers))
+	for k, m := range s.Servers {
+		idx[m] = k
+	}
+	return idx
+}
+
+// Welfare evaluates Lemma 1's continuous-time expression for a concrete
+// placement (columns of p follow the order of s.Servers):
+//
+//	U(x) = Σ_i d_i Σ_n π_{i,n} [ x_{i,n}·h(0⁺) + (1−x_{i,n})·E[h(Exp(Λ_{i,n}))] ]
+//
+// with Λ_{i,n} = Σ_m x_{i,m}·µ_{m,n}.
+func (s Hetero) Welfare(p *alloc.Placement) float64 {
+	srvIdx := s.serverIndex()
+	var u float64
+	for i, d := range s.Pop.Rates {
+		if d == 0 {
+			continue
+		}
+		for cn, pi := range s.Profile.P[i] {
+			if pi == 0 {
+				continue
+			}
+			n := s.Clients[cn]
+			u += d * pi * s.clientGain(p, srvIdx, i, n)
+		}
+	}
+	return u
+}
+
+// clientGain is U_{i,n} for client node n.
+func (s Hetero) clientGain(p *alloc.Placement, srvIdx map[int]int, item, n int) float64 {
+	f := s.utilityFor(item)
+	if k, isServer := srvIdx[n]; isServer && p.Has(item, k) {
+		return f.H0()
+	}
+	var lambda float64
+	for k, m := range s.Servers {
+		if p.Has(item, k) {
+			lambda += s.Rates.At(m, n)
+		}
+	}
+	return f.ExpectedGain(lambda)
+}
+
+// GreedySubmodular computes a (1−1/e)-approximate optimal placement by
+// lazy greedy over (item, server) pairs: submodularity of U (Theorem 1)
+// guarantees stale upper bounds in the priority queue only ever
+// overestimate, so re-evaluating the top candidate until it stays on top
+// yields exactly the greedy solution at a fraction of the evaluations.
+func (s Hetero) GreedySubmodular(rho int) (*alloc.Placement, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	items := s.Pop.Items()
+	S := len(s.Servers)
+	p := alloc.NewPlacement(items, S, rho)
+	srvIdx := s.serverIndex()
+
+	// Λ[i][cn] per (item, client); updated incrementally on placement.
+	lambda := make([][]float64, items)
+	for i := range lambda {
+		lambda[i] = make([]float64, len(s.Clients))
+	}
+
+	marginalOf := func(i, k int) float64 {
+		m := s.Servers[k]
+		f := s.utilityFor(i)
+		var gain float64
+		d := s.Pop.Rates[i]
+		for cn, pi := range s.Profile.P[i] {
+			if pi == 0 {
+				continue
+			}
+			n := s.Clients[cn]
+			if ck, isServer := srvIdx[n]; isServer && p.Has(i, ck) {
+				continue // already served locally, no change
+			}
+			cur := lambda[i][cn]
+			if n == m {
+				// This client becomes a holder: gain jumps to h(0⁺).
+				gain += d * pi * (f.H0() - f.ExpectedGain(cur))
+				continue
+			}
+			r := s.Rates.At(m, n)
+			if r == 0 {
+				continue
+			}
+			gain += d * pi * (f.ExpectedGain(cur+r) - f.ExpectedGain(cur))
+		}
+		if math.IsNaN(gain) {
+			return 0
+		}
+		if math.IsInf(gain, 1) {
+			return math.MaxFloat64 * math.Min(1, d)
+		}
+		return gain
+	}
+
+	pq := &pairHeap{}
+	for i := 0; i < items; i++ {
+		if s.Pop.Rates[i] <= 0 {
+			continue
+		}
+		for k := 0; k < S; k++ {
+			pq.push(pairGain{item: i, server: k, gain: marginalOf(i, k), epoch: 0})
+		}
+	}
+	budget := alloc.Capacity(S, rho)
+	epoch := 0
+	for placed := 0; placed < budget && pq.Len() > 0; {
+		top := pq.pop()
+		if p.Has(top.item, top.server) || p.Load(top.server) >= rho {
+			continue
+		}
+		if top.epoch != epoch {
+			top.gain = marginalOf(top.item, top.server)
+			top.epoch = epoch
+			if pq.Len() > 0 && top.gain < pq.peek().gain {
+				pq.push(top)
+				continue
+			}
+		}
+		if err := p.Set(top.item, top.server, true); err != nil {
+			return nil, err
+		}
+		m := s.Servers[top.server]
+		for cn := range s.Clients {
+			lambda[top.item][cn] += s.Rates.At(m, s.Clients[cn])
+		}
+		placed++
+		epoch++
+	}
+	return p, nil
+}
+
+// pairGain is a lazily evaluated marginal for placing item on server.
+type pairGain struct {
+	item, server int
+	gain         float64
+	epoch        int
+}
+
+type pairHeap struct{ items []pairGain }
+
+func (h pairHeap) Len() int           { return len(h.items) }
+func (h pairHeap) Less(a, b int) bool { return h.items[a].gain > h.items[b].gain }
+func (h pairHeap) Swap(a, b int)      { h.items[a], h.items[b] = h.items[b], h.items[a] }
+func (h *pairHeap) Push(x any)        { h.items = append(h.items, x.(pairGain)) }
+func (h *pairHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	v := old[n-1]
+	h.items = old[:n-1]
+	return v
+}
+func (h *pairHeap) push(g pairGain) { heap.Push(h, g) }
+func (h *pairHeap) pop() pairGain   { return heap.Pop(h).(pairGain) }
+func (h *pairHeap) peek() pairGain  { return h.items[0] }
