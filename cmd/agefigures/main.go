@@ -56,6 +56,8 @@ var figureIndex = []struct {
 	{"x8", "Extension: dedicated kiosks with neglog utility"},
 	{"x9", "Extension: adaptive impatience estimation from feedback"},
 	{"xr", "Ablation: reaction-function comparison"},
+	{"xd", "Robustness: degradation vs p_loss and churn rate (fault injection)"},
+	{"xm", "Robustness: mass-failure recovery, QCR vs static OPT"},
 }
 
 func main() {
@@ -67,11 +69,18 @@ func main() {
 	ascii := flag.Bool("ascii", true, "print ASCII charts")
 	flag.Parse()
 
-	if *list {
+	if err := run(figs, *outDir, *quick, *list, *ascii); err != nil {
+		fmt.Fprintln(os.Stderr, "agefigures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(figs []string, outDir string, quick, list, ascii bool) error {
+	if list {
 		for _, f := range figureIndex {
 			fmt.Printf("  %-4s %s\n", f.id, f.desc)
 		}
-		return
+		return nil
 	}
 	if len(figs) == 0 {
 		for _, f := range figureIndex {
@@ -81,7 +90,7 @@ func main() {
 	sc := experiment.Default()
 	conf := synth.DefaultConference()
 	veh := synth.DefaultVehicular()
-	if *quick {
+	if quick {
 		sc = sc.Scaled(0.2, 0.4)
 		conf.Days = 1
 		veh.DurationMin = 480
@@ -90,26 +99,25 @@ func main() {
 		start := time.Now()
 		tables, err := runFigure(id, sc, conf, veh)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "agefigures: %s: %v\n", id, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", id, err)
 		}
 		for k, tb := range tables {
 			name := fmt.Sprintf("fig%s", id)
 			if len(tables) > 1 {
 				name = fmt.Sprintf("fig%s_%d", id, k)
 			}
-			path := filepath.Join(*outDir, name+".csv")
+			path := filepath.Join(outDir, name+".csv")
 			if err := tb.SaveCSV(path); err != nil {
-				fmt.Fprintf(os.Stderr, "agefigures: save %s: %v\n", path, err)
-				os.Exit(1)
+				return fmt.Errorf("save %s: %w", path, err)
 			}
-			if *ascii {
+			if ascii {
 				fmt.Println(tb.ASCII(90, 20))
 			}
 			fmt.Printf("wrote %s\n", path)
 		}
 		fmt.Printf("[%s done in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+	return nil
 }
 
 func runFigure(id string, sc experiment.Scenario, conf synth.ConferenceConfig, veh synth.VehicularConfig) ([]*plot.Table, error) {
@@ -173,6 +181,18 @@ func runFigure(id string, sc experiment.Scenario, conf synth.ConferenceConfig, v
 		return one(experiment.AdaptiveImpatience(sc, 0.1))
 	case "xr":
 		return one(experiment.ReactionComparison(sc, utility.Power{Alpha: 0}))
+	case "xd":
+		a, err := experiment.DegradationLoss(sc, utility.Step{Tau: 10}, nil)
+		if err != nil {
+			return nil, err
+		}
+		b, err := experiment.DegradationChurn(sc, utility.Step{Tau: 10}, nil)
+		if err != nil {
+			return nil, err
+		}
+		return []*plot.Table{a, b}, nil
+	case "xm":
+		return one(experiment.MassFailureRecovery(sc, utility.Step{Tau: 10}, 0.5))
 	default:
 		return nil, fmt.Errorf("unknown figure %q (use -list)", id)
 	}

@@ -6,6 +6,7 @@
 //	agesim -utility step:10 -scheme qcr -nodes 50 -items 50 -rho 5 -duration 5000
 //	agesim -utility power:0 -scheme prop -trace conference
 //	agesim -utility exp:0.1 -scheme opt -trace file -trace-file contacts.txt
+//	agesim -scheme qcr -churn 0.001 -ploss 0.2 -pdrop 0.05 -mandate-ttl 80
 package main
 
 import (
@@ -17,79 +18,144 @@ import (
 
 	"impatience/internal/demand"
 	"impatience/internal/experiment"
+	"impatience/internal/faults"
 	"impatience/internal/synth"
 	"impatience/internal/trace"
 	"impatience/internal/utility"
 	"impatience/internal/welfare"
 )
 
+// options collects every agesim flag.
+type options struct {
+	utilitySpec string
+	scheme      string
+	nodes       int
+	items       int
+	rho         int
+	mu          float64
+	omega       float64
+	demandRate  float64
+	duration    float64
+	traceKind   string
+	traceFile   string
+	seed        uint64
+	qcrScale    float64
+	warmup      float64
+	showAlloc   bool
+
+	// Fault injection (internal/faults) and QCR hardening.
+	churn      float64
+	churnDown  float64
+	ploss      float64
+	pdrop      float64
+	massCrash  float64
+	massFrac   float64
+	massDown   float64
+	mandateTTL float64
+	retries    int
+}
+
 func main() {
-	var (
-		utilitySpec = flag.String("utility", "step:10", "delay-utility spec: step:τ, exp:ν, power:α, neglog")
-		scheme      = flag.String("scheme", "qcr", "replication scheme: qcr, qcrwom, opt, uni, sqrt, prop, dom")
-		nodes       = flag.Int("nodes", 50, "number of nodes (pure P2P population)")
-		items       = flag.Int("items", 50, "catalog size")
-		rho         = flag.Int("rho", 5, "cache slots per node")
-		mu          = flag.Float64("mu", 0.05, "pairwise contact rate (homogeneous trace)")
-		omega       = flag.Float64("omega", 1, "Pareto popularity exponent")
-		demandRate  = flag.Float64("demand", 2, "aggregate request rate per minute")
-		duration    = flag.Float64("duration", 5000, "simulated minutes (homogeneous trace)")
-		traceKind   = flag.String("trace", "homogeneous", "contact source: homogeneous, conference, vehicular, file")
-		traceFile   = flag.String("trace-file", "", "trace file path when -trace file")
-		seed        = flag.Uint64("seed", 1, "random seed")
-		qcrScale    = flag.Float64("qcr-scale", 0.1, "reaction-function scale")
-		warmup      = flag.Float64("warmup", 0.3, "fraction of the run excluded from averages")
-		showAlloc   = flag.Bool("show-alloc", false, "print the final per-item replica counts")
-	)
+	var o options
+	flag.StringVar(&o.utilitySpec, "utility", "step:10", "delay-utility spec: step:τ, exp:ν, power:α, neglog")
+	flag.StringVar(&o.scheme, "scheme", "qcr", "replication scheme: qcr, qcrwom, opt, uni, sqrt, prop, dom")
+	flag.IntVar(&o.nodes, "nodes", 50, "number of nodes (pure P2P population)")
+	flag.IntVar(&o.items, "items", 50, "catalog size")
+	flag.IntVar(&o.rho, "rho", 5, "cache slots per node")
+	flag.Float64Var(&o.mu, "mu", 0.05, "pairwise contact rate (homogeneous trace)")
+	flag.Float64Var(&o.omega, "omega", 1, "Pareto popularity exponent")
+	flag.Float64Var(&o.demandRate, "demand", 2, "aggregate request rate per minute")
+	flag.Float64Var(&o.duration, "duration", 5000, "simulated minutes (homogeneous trace)")
+	flag.StringVar(&o.traceKind, "trace", "homogeneous", "contact source: homogeneous, conference, vehicular, file")
+	flag.StringVar(&o.traceFile, "trace-file", "", "trace file path when -trace file")
+	flag.Uint64Var(&o.seed, "seed", 1, "random seed")
+	flag.Float64Var(&o.qcrScale, "qcr-scale", 0.1, "reaction-function scale")
+	flag.Float64Var(&o.warmup, "warmup", 0.3, "fraction of the run excluded from averages")
+	flag.BoolVar(&o.showAlloc, "show-alloc", false, "print the final per-item replica counts")
+	flag.Float64Var(&o.churn, "churn", 0, "node crash rate (crashes per node-minute; 0 = off)")
+	flag.Float64Var(&o.churnDown, "churn-down", 0, "mean downtime after a crash (minutes; 0 = 1/churn)")
+	flag.Float64Var(&o.ploss, "ploss", 0, "probability a meeting's content-transfer phase fails")
+	flag.Float64Var(&o.pdrop, "pdrop", 0, "probability a routed mandate is lost in flight")
+	flag.Float64Var(&o.massCrash, "mass-crash", 0, "time of a correlated mass crash (minutes; 0 = off)")
+	flag.Float64Var(&o.massFrac, "mass-frac", 0.5, "fraction of nodes hit by the mass crash")
+	flag.Float64Var(&o.massDown, "mass-down", 0, "downtime after the mass crash (minutes)")
+	flag.Float64Var(&o.mandateTTL, "mandate-ttl", 0, "mandate time-to-live (minutes; 0 = auto when faults are on)")
+	flag.IntVar(&o.retries, "retries", 5, "content-transfer attempts per mandate before abandoning (0 = unbounded)")
 	flag.Parse()
 
-	if err := run(*utilitySpec, *scheme, *nodes, *items, *rho, *mu, *omega, *demandRate,
-		*duration, *traceKind, *traceFile, *seed, *qcrScale, *warmup, *showAlloc); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "agesim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(utilitySpec, scheme string, nodes, items, rho int, mu, omega, demandRate,
-	duration float64, traceKind, traceFile string, seed uint64, qcrScale, warmup float64, showAlloc bool) error {
+// faultPlan translates the fault flags into an experiment.FaultPlan, or
+// nil when every fault class is off (the simulator is then bit-identical
+// to a build without the fault layer).
+func (o options) faultPlan() *experiment.FaultPlan {
+	fc := &faults.Config{
+		ChurnRate:     o.churn,
+		MeanDowntime:  o.churnDown,
+		PLoss:         o.ploss,
+		PDrop:         o.pdrop,
+		MassCrashTime: o.massCrash,
+		MassCrashFrac: o.massFrac,
+		Seed:          o.seed ^ 0xfa17,
+	}
+	if o.massCrash > 0 {
+		fc.MassDowntime = o.massDown
+	}
+	if !fc.Enabled() && o.mandateTTL == 0 {
+		return nil
+	}
+	ttl := o.mandateTTL
+	if ttl == 0 {
+		ttl = 4 / o.mu
+	}
+	if !fc.Enabled() {
+		fc = nil
+	}
+	return &experiment.FaultPlan{Faults: fc, MandateTTL: ttl, MaxAttempts: o.retries}
+}
 
-	u, err := utility.Parse(utilitySpec)
+func run(o options) error {
+	u, err := utility.Parse(o.utilitySpec)
 	if err != nil {
 		return err
 	}
 
 	sc := experiment.Scenario{
-		Nodes: nodes, Items: items, Rho: rho, Mu: mu, Omega: omega,
-		DemandRate: demandRate, Duration: duration, Trials: 1, Seed: seed,
-		QCRScale: qcrScale, WarmupFrac: warmup,
+		Nodes: o.nodes, Items: o.items, Rho: o.rho, Mu: o.mu, Omega: o.omega,
+		DemandRate: o.demandRate, Duration: o.duration, Trials: 1, Seed: o.seed,
+		QCRScale: o.qcrScale, WarmupFrac: o.warmup,
 	}
 
 	var tr *trace.Trace
-	rng := rand.New(rand.NewPCG(seed, seed^0xa9e51))
-	switch traceKind {
+	rng := rand.New(rand.NewPCG(o.seed, o.seed^0xa9e51))
+	switch o.traceKind {
 	case "homogeneous":
 		gen := sc.HomogeneousTraces()
-		tr, err = gen(seed)
+		tr, err = gen(o.seed)
 	case "conference":
 		cfg := synth.DefaultConference()
-		cfg.Nodes = nodes
+		cfg.Nodes = o.nodes
 		tr, err = synth.Conference(cfg, rng)
 	case "vehicular":
 		cfg := synth.DefaultVehicular()
-		cfg.Cabs = nodes
+		cfg.Cabs = o.nodes
 		tr, err = synth.Vehicular(cfg, rng)
 	case "file":
-		if traceFile == "" {
+		if o.traceFile == "" {
 			return fmt.Errorf("-trace file requires -trace-file")
 		}
-		tr, err = trace.Load(traceFile)
-		if err == nil && tr.Nodes != nodes {
+		tr, err = trace.Load(o.traceFile)
+		if err == nil && tr.Nodes != o.nodes {
 			fmt.Printf("note: trace has %d nodes; overriding -nodes\n", tr.Nodes)
 			sc.Nodes = tr.Nodes
-			nodes = tr.Nodes
+			o.nodes = tr.Nodes
 		}
 	default:
-		return fmt.Errorf("unknown trace kind %q", traceKind)
+		return fmt.Errorf("unknown trace kind %q", o.traceKind)
 	}
 	if err != nil {
 		return err
@@ -102,11 +168,12 @@ func run(utilitySpec, scheme string, nodes, items, rho int, mu, omega, demandRat
 		return fmt.Errorf("trace has no contacts")
 	}
 
-	schemeName, err := canonicalScheme(scheme)
+	schemeName, err := canonicalScheme(o.scheme)
 	if err != nil {
 		return err
 	}
-	res, err := sc.RunScheme(schemeName, u, tr, rates, muEff, 0, false)
+	plan := o.faultPlan()
+	res, err := sc.RunSchemeFaults(schemeName, u, tr, rates, muEff, 0, false, plan)
 	if err != nil {
 		return err
 	}
@@ -114,21 +181,29 @@ func run(utilitySpec, scheme string, nodes, items, rho int, mu, omega, demandRat
 	fmt.Printf("scheme          %s\n", schemeName)
 	fmt.Printf("utility         %s\n", u.Name())
 	fmt.Printf("trace           %s: %d nodes, %.0f min, %d contacts (mean pair rate %.5f/min)\n",
-		traceKind, tr.Nodes, tr.Duration, len(tr.Contacts), muEff)
-	fmt.Printf("population      pure P2P, ρ=%d, %d items, Pareto ω=%g, %.3g req/min\n", rho, items, omega, demandRate)
+		o.traceKind, tr.Nodes, tr.Duration, len(tr.Contacts), muEff)
+	fmt.Printf("population      pure P2P, ρ=%d, %d items, Pareto ω=%g, %.3g req/min\n", o.rho, o.items, o.omega, o.demandRate)
 	fmt.Printf("avg utility     %.6g (gain per minute, after %.0f min warmup)\n", res.AvgUtilityRate, res.MeasureStart)
 	fmt.Printf("fulfillments    %d (%d immediate), %d still outstanding\n", res.Fulfillments, res.Immediate, res.Outstanding)
 	fmt.Printf("replicas made   %d over %d meetings\n", res.ReplicasMade, res.Meetings)
+	if t := res.Faults; t != nil {
+		fmt.Printf("faults          %d crashes / %d rejoins, %d contacts skipped, %d meetings truncated, %d arrivals dropped\n",
+			t.Crashes, t.Rejoins, t.SkippedContacts, t.TruncatedMeetings, t.DroppedArrivals)
+		fmt.Printf("fault losses    %d replicas wiped (%d sticky), %d open requests, %d pending mandates\n",
+			t.ReplicasLost, t.StickyLost, t.RequestsLost, t.MandatesCrashed)
+		fmt.Printf("hardening       %d mandates dropped in flight, %d expired, %d abandoned, %d sticky re-seeded\n",
+			t.MandatesDropped, t.MandatesExpired, t.MandatesAbandoned, t.StickyReseeded)
+	}
 
 	// Analytic reference under the memoryless homogeneous approximation.
-	pop := demand.Pareto(items, omega, demandRate)
+	pop := demand.Pareto(o.items, o.omega, o.demandRate)
 	hom := welfare.Homogeneous{
-		Utility: u, Pop: pop, Mu: muEff, Servers: nodes, Clients: nodes, PureP2P: true,
+		Utility: u, Pop: pop, Mu: muEff, Servers: o.nodes, Clients: o.nodes, PureP2P: true,
 	}
-	if opt, err := hom.GreedyOptimal(rho); err == nil {
+	if opt, err := hom.GreedyOptimal(o.rho); err == nil {
 		fmt.Printf("analytic U_opt  %.6g (homogeneous memoryless approximation)\n", hom.WelfareCounts(opt))
 	}
-	if showAlloc {
+	if o.showAlloc {
 		fmt.Printf("final counts    %v\n", res.FinalCounts)
 	}
 	return nil

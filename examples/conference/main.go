@@ -14,13 +14,20 @@ package main
 
 import (
 	"fmt"
-	"log"
 	"math/rand/v2"
+	"os"
 
 	"impatience"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "conference:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	const (
 		items = 50
 		rho   = 5
@@ -30,7 +37,7 @@ func main() {
 	rng := rand.New(rand.NewPCG(7, 77))
 	tr, err := impatience.ConferenceTrace(cfg, rng)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	rates := impatience.EmpiricalRates(tr)
 	fmt.Printf("conference trace: %d nodes, %.0f days, %d contacts, mean pair rate %.5f/min\n\n",
@@ -52,7 +59,7 @@ func main() {
 	}
 	optPlacement, err := het.GreedySubmodular(rho)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	type entry struct {
@@ -91,7 +98,7 @@ func main() {
 		}
 		res, err := impatience.Simulate(cfg)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if e.name == "OPT" {
 			uOpt = res.AvgUtilityRate
@@ -102,6 +109,7 @@ func main() {
 			100*(res.AvgUtilityRate-uOpt)/abs(uOpt))
 	}
 	fmt.Println("\nQCR uses only local query counters; every competitor needed a perfect control channel.")
+	return nil
 }
 
 func uniformProfile(items, nodes int) impatience.Profile {

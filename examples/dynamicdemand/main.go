@@ -11,13 +11,20 @@ package main
 
 import (
 	"fmt"
-	"log"
 	"math/rand/v2"
+	"os"
 
 	"impatience"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dynamicdemand:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	const (
 		nodes    = 40
 		items    = 30
@@ -35,10 +42,10 @@ func main() {
 	tr, err := impatience.GenerateHomogeneousTrace(nodes, mu, duration,
 		rand.New(rand.NewPCG(10, 20)))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	run := func(policy impatience.ReplicationPolicy, initial impatience.AllocationCounts) *impatience.SimResult {
+	play := func(policy impatience.ReplicationPolicy, initial impatience.AllocationCounts) (*impatience.SimResult, error) {
 		cfg := impatience.SimConfig{
 			Rho: rho, Utility: u, Pop: oldPop, Trace: tr, Policy: policy, Seed: 30,
 			BinWidth: duration / 30, RecordCounts: true,
@@ -49,25 +56,27 @@ func main() {
 			cfg.Initial = initial
 			cfg.NoSticky = true
 		}
-		res, err := impatience.Simulate(cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		return res
+		return impatience.Simulate(cfg)
 	}
 
 	homOld := impatience.Homogeneous{Utility: u, Pop: oldPop, Mu: mu, Servers: nodes, Clients: nodes, PureP2P: true}
 	optOld, err := homOld.GreedyOptimal(rho)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	staleOPT := run(impatience.StaticPolicy{Label: "stale-opt"}, optOld)
-	qcr := run(&impatience.QCR{
+	staleOPT, err := play(impatience.StaticPolicy{Label: "stale-opt"}, optOld)
+	if err != nil {
+		return err
+	}
+	qcr, err := play(&impatience.QCR{
 		Reaction:       impatience.TunedReaction(u, mu, nodes, 0.15),
 		MandateRouting: true,
 		StrictSource:   true,
 		MaxMandates:    5, Seed: 40,
 	}, nil)
+	if err != nil {
+		return err
+	}
 
 	fmt.Printf("popularity ranking flips at t=%.0f min\n\n", duration/2)
 	fmt.Printf("%-12s %18s %18s\n", "time (min)", "stale OPT (gain/min)", "QCR (gain/min)")
@@ -86,4 +95,5 @@ func main() {
 	}
 	fmt.Println("\nThe stale optimal allocation never recovers; QCR's query counters notice the")
 	fmt.Println("new demand and rebuild the cache within a few hundred minutes.")
+	return nil
 }

@@ -14,13 +14,20 @@ package main
 
 import (
 	"fmt"
-	"log"
 	"math/rand/v2"
+	"os"
 
 	"impatience"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "kiosks:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	const (
 		kiosks   = 10 // cache-carrying nodes
 		people   = 40 // client-only requesters
@@ -39,11 +46,11 @@ func main() {
 	}
 	opt, err := hom.GreedyOptimal(rho)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	relaxed, err := hom.RelaxedOptimal(rho)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Println("negative-log impatience: optimal kiosk allocation is proportional to demand")
 	fmt.Printf("%-6s %10s %12s %14s\n", "item", "demand", "x* (relaxed)", "x* (integer)")
@@ -55,7 +62,7 @@ func main() {
 	tr, err := impatience.GenerateHomogeneousTrace(nodes, mu, duration,
 		rand.New(rand.NewPCG(3, 33)))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	qcr := &impatience.QCR{
 		Reaction:       impatience.TunedReaction(u, mu, kiosks, 0.2),
@@ -69,11 +76,12 @@ func main() {
 		ServerCount: kiosks, Seed: 5,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Printf("\nafter %d minutes of QCR (clients route mandates to kiosks):\n", duration)
 	fmt.Printf("final kiosk allocation: %v\n", res.FinalCounts)
 	fmt.Printf("target (integer optimum): %v\n", opt)
 	fmt.Printf("realized utility: %.4f vs analytic optimum %.4f gain/min\n",
 		res.AvgUtilityRate, hom.WelfareCounts(opt))
+	return nil
 }

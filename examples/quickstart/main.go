@@ -14,13 +14,20 @@ package main
 
 import (
 	"fmt"
-	"log"
 	"math/rand/v2"
+	"os"
 
 	"impatience"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	const (
 		nodes    = 30
 		items    = 20
@@ -38,7 +45,7 @@ func main() {
 	}
 	opt, err := hom.GreedyOptimal(rho)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Printf("optimal allocation (replicas per item): %v\n", opt)
 	fmt.Printf("optimal welfare: %.4f gain/min\n\n", hom.WelfareCounts(opt))
@@ -47,7 +54,7 @@ func main() {
 	rng := rand.New(rand.NewPCG(42, 43))
 	tr, err := impatience.GenerateHomogeneousTrace(nodes, mu, duration, rng)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	qcr := &impatience.QCR{
@@ -61,7 +68,7 @@ func main() {
 		Rho: rho, Utility: u, Pop: pop, Trace: tr, Policy: qcr, Seed: 8,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	resUNI, err := impatience.Simulate(impatience.SimConfig{
@@ -71,11 +78,12 @@ func main() {
 		NoSticky: true, Seed: 9,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	fmt.Printf("QCR (local knowledge only): %.4f gain/min\n", resQCR.AvgUtilityRate)
 	fmt.Printf("UNI (fixed uniform cache):  %.4f gain/min\n", resUNI.AvgUtilityRate)
 	fmt.Printf("\nQCR made %d replicas over %d meetings and ended with allocation %v\n",
 		resQCR.ReplicasMade, resQCR.Meetings, resQCR.FinalCounts)
+	return nil
 }

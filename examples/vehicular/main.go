@@ -12,13 +12,20 @@ package main
 
 import (
 	"fmt"
-	"log"
 	"math/rand/v2"
+	"os"
 
 	"impatience"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "vehicular:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	const (
 		items = 30
 		rho   = 4
@@ -27,7 +34,7 @@ func main() {
 	cfg.DurationMin = 720 // half a day keeps the example fast
 	tr, err := impatience.VehicularTrace(cfg, rand.New(rand.NewPCG(5, 55)))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	rates := impatience.EmpiricalRates(tr)
 	fmt.Printf("vehicular trace: %d cabs, %.0f h, %d encounters, mean pair rate %.5f/min\n\n",
@@ -65,7 +72,7 @@ func main() {
 			}
 			res, err := impatience.Simulate(sc)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			row = append(row, res.AvgUtilityRate)
 		}
@@ -73,4 +80,5 @@ func main() {
 	}
 	fmt.Println("\nAs ν grows (users more impatient) the popularity-dominated cache gains ground,")
 	fmt.Println("while QCR re-tunes itself automatically — no control channel needed.")
+	return nil
 }

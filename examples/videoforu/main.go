@@ -18,13 +18,20 @@ package main
 
 import (
 	"fmt"
-	"log"
 	"math/rand/v2"
+	"os"
 
 	"impatience"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "videoforu:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	const (
 		subscribers = 60   // phones in this neighborhood
 		episodes    = 40   // current catalog
@@ -43,16 +50,16 @@ func main() {
 	}
 	opt, err := hom.GreedyOptimal(cacheSlots)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	rng := rand.New(rand.NewPCG(2024, 12))
 	tr, err := impatience.GenerateHomogeneousTrace(subscribers, mu, days*1440, rng)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	run := func(policy impatience.ReplicationPolicy, initial impatience.AllocationCounts, sticky bool) float64 {
+	play := func(policy impatience.ReplicationPolicy, initial impatience.AllocationCounts) (float64, error) {
 		cfg := impatience.SimConfig{
 			Rho: cacheSlots, Utility: u, Pop: pop, Trace: tr,
 			Policy: policy, Seed: 99,
@@ -61,21 +68,29 @@ func main() {
 			cfg.Initial = initial
 			cfg.NoSticky = true
 		}
-		_ = sticky
 		res, err := impatience.Simulate(cfg)
 		if err != nil {
-			log.Fatal(err)
+			return 0, err
 		}
-		return res.AvgUtilityRate * 60 // per hour
+		return res.AvgUtilityRate * 60, nil // per hour
 	}
 
-	revOPT := run(impatience.StaticPolicy{Label: "opt"}, opt, false)
-	revSQRT := run(impatience.StaticPolicy{Label: "sqrt"},
-		impatience.SqrtAllocation(pop.Rates, subscribers, cacheSlots), false)
+	revOPT, err := play(impatience.StaticPolicy{Label: "opt"}, opt)
+	if err != nil {
+		return err
+	}
+	revSQRT, err := play(impatience.StaticPolicy{Label: "sqrt"},
+		impatience.SqrtAllocation(pop.Rates, subscribers, cacheSlots))
+	if err != nil {
+		return err
+	}
 
 	// Passive replication: one replica per fulfillment → proportional.
 	passive := &impatience.QCR{Reaction: impatience.ConstantReaction(0.1), MandateRouting: true, StrictSource: true, MaxMandates: 5, Seed: 5}
-	revPassive := run(passive, nil, true)
+	revPassive, err := play(passive, nil)
+	if err != nil {
+		return err
+	}
 
 	// QCR tuned to the measured impatience.
 	qcr := &impatience.QCR{
@@ -85,7 +100,10 @@ func main() {
 		MaxMandates:    5,
 		Seed:           6,
 	}
-	revQCR := run(qcr, nil, true)
+	revQCR, err := play(qcr, nil)
+	if err != nil {
+		return err
+	}
 
 	fmt.Printf("VideoForU: %d subscribers, %d episodes, %d-slot caches, viewers give up after %.0f min\n\n",
 		subscribers, episodes, cacheSlots, tau)
@@ -96,4 +114,5 @@ func main() {
 	fmt.Printf("%-34s %14.2f\n", "clairvoyant optimal allocation", revOPT)
 	fmt.Printf("\nQCR reaches %.1f%% of the optimum using only local query counts.\n",
 		100*revQCR/revOPT)
+	return nil
 }

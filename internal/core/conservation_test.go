@@ -46,7 +46,7 @@ func TestMeetingMandateConservationProperty(t *testing.T) {
 		for n := 0; n < nodes; n++ {
 			for i := 0; i < items; i++ {
 				if rng.Float64() < 0.4 {
-					q.mandates[n][i] = rng.IntN(5) + 1
+					q.addMandates(n, i, rng.IntN(5)+1, 0)
 				}
 			}
 		}
@@ -64,7 +64,7 @@ func TestMeetingMandateConservationProperty(t *testing.T) {
 				continue
 			}
 			for i := 0; i < items; i++ {
-				othersBefore[[2]int{n, i}] = q.mandates[n][i]
+				othersBefore[[2]int{n, i}] = q.count(n, i)
 			}
 		}
 		writesBefore := len(c.writes)
@@ -96,7 +96,7 @@ func TestMeetingMandateConservationProperty(t *testing.T) {
 				continue
 			}
 			for i := 0; i < items; i++ {
-				if q.mandates[n][i] != othersBefore[[2]int{n, i}] {
+				if q.count(n, i) != othersBefore[[2]int{n, i}] {
 					return false
 				}
 			}
@@ -118,19 +118,19 @@ func TestNoRoutingNeverMovesProperty(t *testing.T) {
 		q.Init(c)
 		for n := 0; n < 4; n++ {
 			for i := 0; i < 3; i++ {
-				q.mandates[n][i] = rng.IntN(4)
+				q.addMandates(n, i, rng.IntN(4), 0)
 			}
 		}
 		beforeA := make(map[int]int)
 		beforeB := make(map[int]int)
 		for i := 0; i < 3; i++ {
-			beforeA[i] = q.mandates[0][i]
-			beforeB[i] = q.mandates[1][i]
+			beforeA[i] = q.count(0, i)
+			beforeB[i] = q.count(1, i)
 		}
 		q.OnMeeting(c, 0, 1, 1)
 		for i := 0; i < 3; i++ {
-			da := beforeA[i] - q.mandates[0][i]
-			db := beforeB[i] - q.mandates[1][i]
+			da := beforeA[i] - q.count(0, i)
+			db := beforeB[i] - q.count(1, i)
 			if da < 0 || db < 0 {
 				return false // gained mandates without routing
 			}

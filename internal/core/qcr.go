@@ -13,6 +13,15 @@
 // nodes holding the item so they do not starve (Section 5.3). With ψ
 // tuned per Property 2 to the population's delay-utility, the protocol's
 // steady state is the optimal cache allocation.
+//
+// Beyond the paper's idealized evaluation (Section 6.1), the policy is
+// hardened against injected faults (node churn, truncated meetings,
+// mandate loss — see internal/faults): mandates carry a creation time and
+// expire after MandateTTL so that mandates for an item whose holders all
+// crashed do not circulate forever, and a per-mandate retry budget
+// (MaxAttempts) bounds how often a mandate whose content transfer keeps
+// failing is retried at later meetings. Both mechanisms are off by
+// default and leave the fault-free protocol byte-identical.
 package core
 
 import (
@@ -33,7 +42,8 @@ type Cache interface {
 	Has(node, item int) bool
 	// Write inserts item into node's cache, evicting a uniformly random
 	// non-sticky slot. It reports false when the write is impossible
-	// (node already holds the item, or all its slots are pinned).
+	// (node already holds the item, all its slots are pinned, or the
+	// current meeting's content-transfer phase failed).
 	Write(node, item int) bool
 	// StickyNode returns the node holding item's pinned replica, or -1.
 	StickyNode(item int) int
@@ -51,6 +61,27 @@ type Policy interface {
 	OnFulfill(c Cache, node, peer, item, queries int, age, now float64)
 	// OnMeeting is invoked for every meeting of a and b at time now.
 	OnMeeting(c Cache, a, b int, now float64)
+}
+
+// Disruptor models transport-level faults the simulator injects into the
+// protocol's control plane. It is implemented by faults.Injector.
+type Disruptor interface {
+	// DropMandate draws whether one mandate handed to the other node at a
+	// meeting is lost in flight.
+	DropMandate() bool
+}
+
+// FaultAware policies accept fault wiring from the simulator before the
+// run starts.
+type FaultAware interface {
+	SetDisruptor(d Disruptor)
+}
+
+// CrashAware policies are notified when a node crashes and must discard
+// all protocol state held at that node. The return value is the number
+// of pending mandates lost, for the run's fault tally.
+type CrashAware interface {
+	OnCrash(node int) int
 }
 
 // Static is the no-op policy used for the fixed-allocation competitors
@@ -146,6 +177,15 @@ func ConstantReaction(c float64) ReactionFunc {
 	}
 }
 
+// mandate is one pending replication order. born is when the fulfillment
+// that created it happened (mandates inherited at a handoff keep their
+// original creation time); tries counts content-transfer attempts that
+// failed, for the bounded-retry hardening.
+type mandate struct {
+	born  float64
+	tries int
+}
+
 // QCR is the Query Counting Replication policy.
 type QCR struct {
 	// Reaction maps query-counter values to replica budgets. Required
@@ -181,13 +221,35 @@ type QCR struct {
 	// the server count preserves the fixed point in the common-counter
 	// regime while taming the tail.
 	MaxMandates int
+	// MandateTTL discards mandates older than this at the next meeting
+	// they surface at (0 = never expire). Under node churn every replica
+	// of an item — including its sticky copy — can vanish in a crash;
+	// with StrictSource such orphaned mandates could otherwise circulate
+	// forever, bloating routing traffic and the mandate population
+	// (Figure 3's divergence, resurrected by faults). Expiry is lazy: a
+	// meeting is the only synchronization point an opportunistic network
+	// has, so mandates parked on a node that never meets again linger in
+	// TotalMandates until the run ends.
+	MandateTTL float64
+	// MaxAttempts bounds how many failed content-transfer attempts one
+	// mandate survives (0 = unlimited). Truncated meetings (faults.PLoss)
+	// complete the metadata exchange but lose the payload; the driving
+	// mandate is then retained and retried at later meetings, up to this
+	// budget, after which it is abandoned.
+	MaxAttempts int
 	// Seed makes the policy's randomized rounding and odd-mandate splits
 	// deterministic.
 	Seed uint64
 
-	rng      *rand.Rand
-	mandates []map[int]int // per node: item → pending mandate count
-	moved    int           // mandates that changed nodes (routing traffic)
+	rng       *rand.Rand
+	disruptor Disruptor
+	mandates  []map[int][]mandate // per node: item → pending mandates
+	moved     int                 // mandates that changed nodes (routing traffic)
+	created   int                 // mandates minted by OnFulfill
+	executed  int                 // mandates consumed by replication (incl. rewriting)
+	expired   int                 // mandates discarded by TTL expiry
+	abandoned int                 // mandates discarded after exhausting MaxAttempts
+	dropped   int                 // mandates lost in flight at handoff
 }
 
 // Name implements Policy.
@@ -201,10 +263,27 @@ func (q *QCR) Name() string {
 // Init implements Policy.
 func (q *QCR) Init(c Cache) {
 	q.rng = rand.New(rand.NewPCG(q.Seed, q.Seed^0x51ce5ca1ab1e))
-	q.mandates = make([]map[int]int, c.Nodes())
+	q.mandates = make([]map[int][]mandate, c.Nodes())
 	for i := range q.mandates {
-		q.mandates[i] = make(map[int]int)
+		q.mandates[i] = make(map[int][]mandate)
 	}
+}
+
+// SetDisruptor implements FaultAware: the simulator wires its fault
+// injector in before the run when fault injection is enabled.
+func (q *QCR) SetDisruptor(d Disruptor) { q.disruptor = d }
+
+// OnCrash implements CrashAware: a crashed node loses its pending
+// mandates along with its cache. Returns the number lost.
+func (q *QCR) OnCrash(node int) int {
+	var n int
+	for _, pile := range q.mandates[node] {
+		n += len(pile)
+	}
+	if n > 0 || len(q.mandates[node]) > 0 {
+		q.mandates[node] = make(map[int][]mandate)
+	}
+	return n
 }
 
 // TotalMandates returns the number of pending mandates across all nodes,
@@ -212,8 +291,8 @@ func (q *QCR) Init(c Cache) {
 func (q *QCR) TotalMandates() int {
 	var sum int
 	for _, m := range q.mandates {
-		for _, v := range m {
-			sum += v
+		for _, pile := range m {
+			sum += len(pile)
 		}
 	}
 	return sum
@@ -228,9 +307,39 @@ func (q *QCR) MandatesMoved() int { return q.moved }
 func (q *QCR) MandatesFor(item int) int {
 	var sum int
 	for _, m := range q.mandates {
-		sum += m[item]
+		sum += len(m[item])
 	}
 	return sum
+}
+
+// MandatesCreated returns the cumulative number of mandates minted by
+// OnFulfill, the input side of the mandate conservation law:
+//
+//	created = pending + executed + expired + abandoned + dropped + crashed
+//
+// (crashed is tallied by the simulator via OnCrash).
+func (q *QCR) MandatesCreated() int { return q.created }
+
+// MandatesExecuted returns mandates consumed by successful replication
+// (including vacuous rewriting consumptions).
+func (q *QCR) MandatesExecuted() int { return q.executed }
+
+// FaultCounters reports the hardening tallies: mandates lost in flight
+// at handoff, discarded by TTL expiry, and abandoned after exhausting
+// their retry budget.
+func (q *QCR) FaultCounters() (dropped, expired, abandoned int) {
+	return q.dropped, q.expired, q.abandoned
+}
+
+// count returns the pending mandates for item at node (test hook).
+func (q *QCR) count(node, item int) int { return len(q.mandates[node][item]) }
+
+// addMandates injects n mandates born at the given time (test hook).
+func (q *QCR) addMandates(node, item, n int, born float64) {
+	for k := 0; k < n; k++ {
+		q.mandates[node][item] = append(q.mandates[node][item], mandate{born: born})
+	}
+	q.created += n
 }
 
 // OnFulfill implements Policy: convert the query count into mandates via
@@ -254,13 +363,51 @@ func (q *QCR) OnFulfill(c Cache, node, peer, item, queries int, age, now float64
 		k++
 	}
 	if k > 0 {
-		q.mandates[node][item] += k
+		pile := q.mandates[node][item]
+		for j := 0; j < k; j++ {
+			pile = append(pile, mandate{born: now})
+		}
+		q.mandates[node][item] = pile
+		q.created += k
 	}
 }
 
-// OnMeeting implements Policy: execute at most one mandate per item
-// (creating a replica on whichever of the two nodes lacks the item), then
-// route the remainder.
+// consume removes the oldest mandate of a pile (FIFO: the mandates that
+// have waited longest execute first) and counts the execution.
+func (q *QCR) consume(pile []mandate) []mandate {
+	q.executed++
+	return pile[1:]
+}
+
+// retryOrAbandon charges one failed content-transfer attempt to the
+// mandate that would have driven the replication. With a retry budget
+// set, a mandate that exhausts it is abandoned.
+func (q *QCR) retryOrAbandon(pile []mandate) []mandate {
+	pile[0].tries++
+	if q.MaxAttempts > 0 && pile[0].tries >= q.MaxAttempts {
+		q.abandoned++
+		return pile[1:]
+	}
+	return pile
+}
+
+// expireOld discards mandates older than the TTL. Only called when
+// MandateTTL > 0.
+func (q *QCR) expireOld(pile []mandate, now float64) []mandate {
+	keep := pile[:0]
+	for _, m := range pile {
+		if now-m.born > q.MandateTTL {
+			q.expired++
+		} else {
+			keep = append(keep, m)
+		}
+	}
+	return keep
+}
+
+// OnMeeting implements Policy: expire stale mandates, execute at most one
+// mandate per item (creating a replica on whichever of the two nodes
+// lacks the item), then route the remainder.
 func (q *QCR) OnMeeting(c Cache, a, b int, now float64) {
 	ma, mb := q.mandates[a], q.mandates[b]
 	if len(ma) == 0 && len(mb) == 0 {
@@ -280,8 +427,15 @@ func (q *QCR) OnMeeting(c Cache, a, b int, now float64) {
 	}
 	sort.Ints(items)
 	for _, item := range items {
-		na, nb := ma[item], mb[item] // working per-side counts
-		if na+nb == 0 {
+		pa, pb := ma[item], mb[item]
+		origA, origB := len(pa), len(pb) // pre-meeting piles, for moved accounting
+		if q.MandateTTL > 0 {
+			pa = q.expireOld(pa, now)
+			pb = q.expireOld(pb, now)
+		}
+		if len(pa)+len(pb) == 0 {
+			setOrDelete(ma, item, pa)
+			setOrDelete(mb, item, pb)
 			continue
 		}
 		hasA, hasB := c.Has(a, item), c.Has(b, item)
@@ -289,10 +443,10 @@ func (q *QCR) OnMeeting(c Cache, a, b int, now float64) {
 		case hasA && hasB:
 			if q.Rewriting {
 				// A (vacuous) replication consumes one mandate.
-				if na >= nb && na > 0 {
-					na--
-				} else if nb > 0 {
-					nb--
+				if len(pa) >= len(pb) && len(pa) > 0 {
+					pa = q.consume(pa)
+				} else if len(pb) > 0 {
+					pb = q.consume(pb)
 				}
 			}
 		case hasA && !hasB:
@@ -300,49 +454,99 @@ func (q *QCR) OnMeeting(c Cache, a, b int, now float64) {
 			// mandates can drive it; otherwise either side's can (the
 			// holder's pile is consumed first when available).
 			if q.StrictSource {
-				if na > 0 && c.Write(b, item) {
-					na--
-					hasB = true
+				if len(pa) > 0 {
+					if c.Write(b, item) {
+						pa = q.consume(pa)
+						hasB = true
+					} else {
+						pa = q.retryOrAbandon(pa)
+					}
 				}
 			} else if c.Write(b, item) {
-				if na > 0 {
-					na--
+				if len(pa) > 0 {
+					pa = q.consume(pa)
 				} else {
-					nb--
+					pb = q.consume(pb)
 				}
 				hasB = true
+			} else if len(pa) > 0 {
+				pa = q.retryOrAbandon(pa)
+			} else {
+				pb = q.retryOrAbandon(pb)
 			}
 		case !hasA && hasB:
 			if q.StrictSource {
-				if nb > 0 && c.Write(a, item) {
-					nb--
-					hasA = true
+				if len(pb) > 0 {
+					if c.Write(a, item) {
+						pb = q.consume(pb)
+						hasA = true
+					} else {
+						pb = q.retryOrAbandon(pb)
+					}
 				}
 			} else if c.Write(a, item) {
-				if nb > 0 {
-					nb--
+				if len(pb) > 0 {
+					pb = q.consume(pb)
 				} else {
-					na--
+					pa = q.consume(pa)
 				}
 				hasA = true
+			} else if len(pb) > 0 {
+				pb = q.retryOrAbandon(pb)
+			} else {
+				pa = q.retryOrAbandon(pa)
 			}
 		}
 		if q.MandateRouting {
-			na, nb = q.route(c, a, b, item, na+nb, hasA, hasB)
+			wantA, _ := q.route(c, a, b, item, len(pa)+len(pb), hasA, hasB)
+			pa, pb = q.redistribute(pa, pb, wantA)
 		}
-		// Any increase relative to the pre-meeting pile crossed over.
-		if gain := na - ma[item]; gain > 0 {
+		// Routing traffic: any increase relative to the pre-meeting pile
+		// crossed over (net of executions, matching the original metric).
+		if gain := len(pa) - origA; gain > 0 {
 			q.moved += gain
 		}
-		if gain := nb - mb[item]; gain > 0 {
+		if gain := len(pb) - origB; gain > 0 {
 			q.moved += gain
 		}
-		setOrDelete(ma, item, na)
-		setOrDelete(mb, item, nb)
+		setOrDelete(ma, item, pa)
+		setOrDelete(mb, item, pb)
 	}
 }
 
-// route redistributes an item's surviving mandates between the two
+// redistribute realizes the routing split: mandates cross from the side
+// holding more than its share to the other, oldest first. Each crossing
+// mandate is independently lost in flight when a disruptor injects
+// mandate-drop faults.
+func (q *QCR) redistribute(pa, pb []mandate, wantA int) (na, nb []mandate) {
+	switch {
+	case wantA > len(pa): // b → a
+		k := wantA - len(pa)
+		for j := 0; j < k; j++ {
+			m := pb[0]
+			pb = pb[1:]
+			if q.disruptor != nil && q.disruptor.DropMandate() {
+				q.dropped++
+				continue
+			}
+			pa = append(pa, m)
+		}
+	case wantA < len(pa): // a → b
+		k := len(pa) - wantA
+		for j := 0; j < k; j++ {
+			m := pa[0]
+			pa = pa[1:]
+			if q.disruptor != nil && q.disruptor.DropMandate() {
+				q.dropped++
+				continue
+			}
+			pb = append(pb, m)
+		}
+	}
+	return pa, pb
+}
+
+// route computes how an item's surviving mandates split between the two
 // meeting nodes (Section 6.1): all to a sole holder, ceil(2/3) to the
 // item's sticky node when both hold it, an even split otherwise.
 func (q *QCR) route(c Cache, a, b, item, total int, hasA, hasB bool) (na, nb int) {
@@ -372,10 +576,10 @@ func (q *QCR) route(c Cache, a, b, item, total int, hasA, hasB bool) (na, nb int
 	}
 }
 
-func setOrDelete(m map[int]int, item, v int) {
-	if v <= 0 {
+func setOrDelete(m map[int][]mandate, item int, pile []mandate) {
+	if len(pile) == 0 {
 		delete(m, item)
 	} else {
-		m[item] = v
+		m[item] = pile
 	}
 }

@@ -129,7 +129,7 @@ func TestMeetingExecutesOneMandate(t *testing.T) {
 	c.has[[2]int{0, 0}] = true // node 0 holds item 0; node 1 does not
 	q := newQCR(true)
 	q.Init(c)
-	q.mandates[0][0] = 5
+	q.addMandates(0, 0, 5, 0)
 	q.OnMeeting(c, 0, 1, 1)
 	if len(c.writes) != 1 || c.writes[0] != [2]int{1, 0} {
 		t.Fatalf("writes=%v, want item 0 copied to node 1", c.writes)
@@ -145,7 +145,7 @@ func TestMeetingExecutesTowardHolderlessSide(t *testing.T) {
 	c.has[[2]int{1, 0}] = true
 	q := newQCR(true)
 	q.Init(c)
-	q.mandates[0][0] = 1
+	q.addMandates(0, 0, 1, 0)
 	q.OnMeeting(c, 0, 1, 1)
 	if len(c.writes) != 1 || c.writes[0] != [2]int{0, 0} {
 		t.Fatalf("writes=%v, want item copied to node 0", c.writes)
@@ -159,7 +159,7 @@ func TestMeetingNoExecutionWithoutCopy(t *testing.T) {
 	c := newFakeCache(2, 1) // neither node holds the item
 	q := newQCR(true)
 	q.Init(c)
-	q.mandates[0][0] = 4
+	q.addMandates(0, 0, 4, 0)
 	q.OnMeeting(c, 0, 1, 1)
 	if len(c.writes) != 0 {
 		t.Error("replica created out of thin air")
@@ -168,8 +168,8 @@ func TestMeetingNoExecutionWithoutCopy(t *testing.T) {
 		t.Errorf("mandates changed: %d", q.TotalMandates())
 	}
 	// Routing: split evenly between the two nodes.
-	if q.mandates[0][0] != 2 || q.mandates[1][0] != 2 {
-		t.Errorf("split %d/%d, want 2/2", q.mandates[0][0], q.mandates[1][0])
+	if q.count(0, 0) != 2 || q.count(1, 0) != 2 {
+		t.Errorf("split %d/%d, want 2/2", q.count(0, 0), q.count(1, 0))
 	}
 }
 
@@ -179,7 +179,7 @@ func TestMeetingBothHoldNoRewriting(t *testing.T) {
 	c.has[[2]int{1, 0}] = true
 	q := newQCR(true)
 	q.Init(c)
-	q.mandates[0][0] = 4
+	q.addMandates(0, 0, 4, 0)
 	q.OnMeeting(c, 0, 1, 1)
 	if len(c.writes) != 0 {
 		t.Error("wrote despite both holding")
@@ -196,7 +196,7 @@ func TestMeetingBothHoldWithRewriting(t *testing.T) {
 	q := newQCR(true)
 	q.Rewriting = true
 	q.Init(c)
-	q.mandates[0][0] = 4
+	q.addMandates(0, 0, 4, 0)
 	q.OnMeeting(c, 0, 1, 1)
 	if q.TotalMandates() != 3 {
 		t.Errorf("rewriting should consume one mandate: %d left", q.TotalMandates())
@@ -211,10 +211,10 @@ func TestRoutingToSoleHolder(t *testing.T) {
 	c.writeOK = false
 	q := newQCR(true)
 	q.Init(c)
-	q.mandates[1][0] = 6
+	q.addMandates(1, 0, 6, 0)
 	q.OnMeeting(c, 0, 1, 1)
-	if q.mandates[0][0] != 6 || q.mandates[1][0] != 0 {
-		t.Errorf("mandates %d/%d, want all 6 at the holder", q.mandates[0][0], q.mandates[1][0])
+	if q.count(0, 0) != 6 || q.count(1, 0) != 0 {
+		t.Errorf("mandates %d/%d, want all 6 at the holder", q.count(0, 0), q.count(1, 0))
 	}
 }
 
@@ -226,10 +226,10 @@ func TestRoutingStickyPreference(t *testing.T) {
 	c.sticky[0] = 0
 	q := newQCR(true)
 	q.Init(c)
-	q.mandates[1][0] = 6
+	q.addMandates(1, 0, 6, 0)
 	q.OnMeeting(c, 0, 1, 1)
-	if q.mandates[0][0] != 4 || q.mandates[1][0] != 2 {
-		t.Errorf("mandates %d/%d, want 4/2 (2/3 to sticky)", q.mandates[0][0], q.mandates[1][0])
+	if q.count(0, 0) != 4 || q.count(1, 0) != 2 {
+		t.Errorf("mandates %d/%d, want 4/2 (2/3 to sticky)", q.count(0, 0), q.count(1, 0))
 	}
 }
 
@@ -237,10 +237,10 @@ func TestNoRoutingKeepsMandatesAtOrigin(t *testing.T) {
 	c := newFakeCache(2, 2)
 	q := newQCR(false)
 	q.Init(c)
-	q.mandates[0][1] = 5
+	q.addMandates(0, 1, 5, 0)
 	q.OnMeeting(c, 0, 1, 1)
-	if q.mandates[0][1] != 5 || q.mandates[1][1] != 0 {
-		t.Errorf("no-routing moved mandates: %d/%d", q.mandates[0][1], q.mandates[1][1])
+	if q.count(0, 1) != 5 || q.count(1, 1) != 0 {
+		t.Errorf("no-routing moved mandates: %d/%d", q.count(0, 1), q.count(1, 1))
 	}
 }
 
@@ -249,13 +249,13 @@ func TestNoRoutingStillExecutes(t *testing.T) {
 	c.has[[2]int{0, 0}] = true
 	q := newQCR(false)
 	q.Init(c)
-	q.mandates[0][0] = 3
+	q.addMandates(0, 0, 3, 0)
 	q.OnMeeting(c, 0, 1, 1)
 	if len(c.writes) != 1 {
 		t.Fatalf("no-routing QCR must still execute mandates: writes=%v", c.writes)
 	}
-	if q.mandates[0][0] != 2 {
-		t.Errorf("executed mandate not deducted at origin: %d", q.mandates[0][0])
+	if q.count(0, 0) != 2 {
+		t.Errorf("executed mandate not deducted at origin: %d", q.count(0, 0))
 	}
 }
 
@@ -263,9 +263,9 @@ func TestMandatesForAccounting(t *testing.T) {
 	c := newFakeCache(3, 2)
 	q := newQCR(true)
 	q.Init(c)
-	q.mandates[0][0] = 2
-	q.mandates[1][0] = 1
-	q.mandates[2][1] = 4
+	q.addMandates(0, 0, 2, 0)
+	q.addMandates(1, 0, 1, 0)
+	q.addMandates(2, 1, 4, 0)
 	if q.MandatesFor(0) != 3 || q.MandatesFor(1) != 4 {
 		t.Errorf("MandatesFor wrong: %d, %d", q.MandatesFor(0), q.MandatesFor(1))
 	}

@@ -1,0 +1,191 @@
+package experiment
+
+import (
+	"fmt"
+
+	"impatience/internal/faults"
+	"impatience/internal/plot"
+	"impatience/internal/sim"
+	"impatience/internal/stats"
+	"impatience/internal/trace"
+	"impatience/internal/utility"
+)
+
+// FaultPlan bundles a fault-injection configuration with the hardening
+// knobs the QCR policy uses to survive it. A nil plan (or nil Faults)
+// reproduces the idealized Section 6.1 runs bit for bit.
+type FaultPlan struct {
+	Faults *faults.Config
+	// MandateTTL and MaxAttempts are applied to QCR-family policies only;
+	// static allocations have no mandates to harden.
+	MandateTTL  float64
+	MaxAttempts int
+}
+
+// Hardening wraps a fault config with the scenario's default hardening
+// knobs: mandates expire after roughly four mean pairwise inter-contact
+// times (plenty of meetings to execute or route them; stale ones from
+// crashed holders are garbage by then), and a failed content transfer is
+// retried at up to five later meetings before the mandate is abandoned.
+func (sc Scenario) Hardening(fc *faults.Config) *FaultPlan {
+	return &FaultPlan{Faults: fc, MandateTTL: 4 / sc.Mu, MaxAttempts: 5}
+}
+
+// RunSchemeFaults is RunScheme with fault injection: the plan's fault
+// config is handed to the simulator and its hardening knobs to QCR-family
+// policies. A nil plan is exactly RunScheme.
+func (sc Scenario) RunSchemeFaults(scheme string, u utility.Function, tr *trace.Trace, rates *trace.RateMatrix, mu float64, trial uint64, series bool, plan *FaultPlan) (*sim.Result, error) {
+	return sc.runScheme(scheme, u, tr, rates, mu, trial, series, plan)
+}
+
+// degradationSweep runs QCR vs the static OPT/UNI competitors at each
+// fault intensity x, with build(x) describing the faults to inject, and
+// returns mean AvgUtilityRate per scheme (QCR additionally with its
+// 5%/95% band). Every scheme within a trial sees the identical fault
+// sequence: the injector's stream depends only on its config.
+func (sc Scenario) degradationSweep(u utility.Function, xs []float64, build func(x float64) faults.Config, title, xlabel string) (*plot.Table, error) {
+	gen := sc.HomogeneousTraces()
+	schemes := []string{SchemeQCR, SchemeOPT, SchemeUNI}
+	per := make(map[string][][]float64, len(schemes)) // scheme → per-x trial samples
+	for _, s := range schemes {
+		per[s] = make([][]float64, len(xs))
+	}
+	for trial := 0; trial < sc.Trials; trial++ {
+		tr, err := gen(sc.Seed + uint64(trial)*997)
+		if err != nil {
+			return nil, err
+		}
+		rates := trace.EmpiricalRates(tr)
+		mu := rates.Mean()
+		for xi, x := range xs {
+			fc := build(x)
+			fc.Seed = sc.Seed*69069 + uint64(trial)*127 + uint64(xi)
+			plan := sc.Hardening(&fc)
+			for _, scheme := range schemes {
+				res, err := sc.RunSchemeFaults(scheme, u, tr, rates, mu, uint64(trial), false, plan)
+				if err != nil {
+					return nil, fmt.Errorf("experiment: %s at %s=%g trial %d: %w", scheme, xlabel, x, trial, err)
+				}
+				per[scheme][xi] = append(per[scheme][xi], res.AvgUtilityRate)
+			}
+		}
+	}
+	table := &plot.Table{Title: title, XLabel: xlabel}
+	table.X = append(table.X, xs...)
+	for _, s := range schemes {
+		mean := make([]float64, len(xs))
+		for xi := range xs {
+			mean[xi] = stats.Summarize(per[s][xi]).Mean
+		}
+		if err := table.AddColumn(s, mean); err != nil {
+			return nil, err
+		}
+	}
+	lo := make([]float64, len(xs))
+	hi := make([]float64, len(xs))
+	for xi := range xs {
+		sum := stats.Summarize(per[SchemeQCR][xi])
+		lo[xi], hi[xi] = sum.P5, sum.P95
+	}
+	table.AddColumn("QCR p5", lo)
+	table.AddColumn("QCR p95", hi)
+	return table, nil
+}
+
+// DegradationLoss sweeps the truncated-meeting probability p_loss from 0
+// to 0.5: every meeting keeps its metadata exchange but loses the content
+// payload with probability p_loss. The hardened QCR retries failed
+// transfers at later meetings, so its utility should fall continuously —
+// no collapse — alongside the static competitors (whose fulfillments are
+// truncated just the same).
+func DegradationLoss(sc Scenario, u utility.Function, ploss []float64) (*plot.Table, error) {
+	if len(ploss) == 0 {
+		ploss = []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5}
+	}
+	return sc.degradationSweep(u, ploss,
+		func(p float64) faults.Config { return faults.Config{PLoss: p} },
+		"Degradation: utility rate vs meeting-truncation probability",
+		"p_loss")
+}
+
+// DegradationChurn sweeps the node crash rate (crashes per node per
+// minute, exponential up-lifetimes, fixed mean downtime): crashes wipe
+// caches, sticky replicas and pending mandates. QCR re-seeds sticky
+// replicas and regrows the allocation; the static allocations lose
+// replicas permanently because nothing ever rewrites them.
+func DegradationChurn(sc Scenario, u utility.Function, churn []float64) (*plot.Table, error) {
+	if len(churn) == 0 {
+		churn = []float64{0, 0.0005, 0.001, 0.002, 0.005}
+	}
+	down := sc.Duration / 100
+	return sc.degradationSweep(u, churn,
+		func(c float64) faults.Config { return faults.Config{ChurnRate: c, MeanDowntime: down} },
+		"Degradation: utility rate vs node churn rate",
+		"crashes per node-minute")
+}
+
+// MassFailureRecovery is the headline robustness plot: at 40% of the run
+// a fraction of all nodes crashes simultaneously, wiping their caches,
+// and rejoins empty shortly after. The table holds the binned utility
+// rate over time (mean across trials) for QCR and the static OPT: QCR
+// re-converges to its pre-crash welfare, OPT cannot — its lost replicas
+// are never rewritten.
+func MassFailureRecovery(sc Scenario, u utility.Function, frac float64) (*plot.Table, error) {
+	if frac <= 0 || frac > 1 {
+		return nil, fmt.Errorf("experiment: mass-crash fraction %g outside (0,1]", frac)
+	}
+	gen := sc.HomogeneousTraces()
+	schemes := []string{SchemeQCR, SchemeOPT}
+	const bins = 100
+	acc := make(map[string][]float64, len(schemes))
+	for _, s := range schemes {
+		acc[s] = make([]float64, bins)
+	}
+	crashAt := 0.4 * sc.Duration
+	for trial := 0; trial < sc.Trials; trial++ {
+		tr, err := gen(sc.Seed + uint64(trial)*997)
+		if err != nil {
+			return nil, err
+		}
+		rates := trace.EmpiricalRates(tr)
+		mu := rates.Mean()
+		fc := faults.Config{
+			MassCrashTime: crashAt,
+			MassCrashFrac: frac,
+			MassDowntime:  sc.Duration / 20,
+			Seed:          sc.Seed*69069 + uint64(trial)*127,
+		}
+		plan := sc.Hardening(&fc)
+		for _, scheme := range schemes {
+			res, err := sc.RunSchemeFaults(scheme, u, tr, rates, mu, uint64(trial), true, plan)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: %s trial %d: %w", scheme, trial, err)
+			}
+			if len(res.Bins) != bins {
+				return nil, fmt.Errorf("experiment: %s trial %d: %d bins, want %d", scheme, trial, len(res.Bins), bins)
+			}
+			for k, b := range res.Bins {
+				if w := b.T1 - b.T0; w > 0 {
+					acc[scheme][k] += b.Gain / w
+				}
+			}
+		}
+	}
+	table := &plot.Table{
+		Title:  fmt.Sprintf("Mass failure at t=%.0f (%.0f%% of nodes): recovery of utility rate", crashAt, frac*100),
+		XLabel: "time (min)",
+	}
+	for k := 0; k < bins; k++ {
+		table.X = append(table.X, (float64(k)+0.5)*sc.Duration/bins)
+	}
+	for _, s := range schemes {
+		y := make([]float64, bins)
+		for k := range y {
+			y[k] = acc[s][k] / float64(sc.Trials)
+		}
+		if err := table.AddColumn(s, y); err != nil {
+			return nil, err
+		}
+	}
+	return table, nil
+}

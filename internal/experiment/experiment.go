@@ -202,6 +202,10 @@ func (sc Scenario) qcrPolicy(u utility.Function, mu float64, routing bool, seed 
 // the simulation result. mu is the ψ plug-in rate (mean empirical rate
 // for heterogeneous traces).
 func (sc Scenario) RunScheme(scheme string, u utility.Function, tr *trace.Trace, rates *trace.RateMatrix, mu float64, trial uint64, series bool) (*sim.Result, error) {
+	return sc.runScheme(scheme, u, tr, rates, mu, trial, series, nil)
+}
+
+func (sc Scenario) runScheme(scheme string, u utility.Function, tr *trace.Trace, rates *trace.RateMatrix, mu float64, trial uint64, series bool, plan *FaultPlan) (*sim.Result, error) {
 	pop := sc.Pop()
 	cfg := sim.Config{
 		Rho:        sc.Rho,
@@ -215,9 +219,17 @@ func (sc Scenario) RunScheme(scheme string, u utility.Function, tr *trace.Trace,
 		cfg.BinWidth = sc.Duration / 100
 		cfg.RecordCounts = true
 	}
+	if plan != nil {
+		cfg.Faults = plan.Faults
+	}
 	switch scheme {
 	case SchemeQCR, SchemeQCRWOM:
-		cfg.Policy = sc.qcrPolicy(u, mu, scheme == SchemeQCR, sc.Seed*7919+trial)
+		pol := sc.qcrPolicy(u, mu, scheme == SchemeQCR, sc.Seed*7919+trial)
+		if plan != nil {
+			pol.MandateTTL = plan.MandateTTL
+			pol.MaxAttempts = plan.MaxAttempts
+		}
+		cfg.Policy = pol
 	default:
 		counts, placement, err := buildStatic(sc, scheme, u, pop, rates)
 		if err != nil {

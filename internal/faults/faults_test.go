@@ -1,0 +1,143 @@
+package faults
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDisabledConfigs(t *testing.T) {
+	for i, c := range []*Config{nil, {}, {Seed: 7}, {MassCrashTime: 100}, {MassCrashFrac: 0.5}} {
+		if c.Enabled() {
+			t.Errorf("config %d reports enabled", i)
+		}
+		in, err := New(c)
+		if err != nil {
+			t.Errorf("config %d: New: %v", i, err)
+		}
+		if in != nil {
+			t.Errorf("config %d: New returned a live injector for a disabled config", i)
+		}
+	}
+}
+
+func TestValidateRejectsBadRanges(t *testing.T) {
+	bads := []Config{
+		{ChurnRate: -1},
+		{ChurnRate: math.NaN()},
+		{ChurnRate: math.Inf(1)},
+		{MeanDowntime: -1},
+		{PLoss: -0.1},
+		{PLoss: 1.1},
+		{PLoss: math.NaN()},
+		{PDrop: 2},
+		{MassCrashFrac: 1.5},
+		{MassCrashTime: -5},
+		{MassDowntime: -1},
+	}
+	for i, c := range bads {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, c)
+		}
+		if _, err := New(&c); err == nil {
+			t.Errorf("bad config %d accepted by New: %+v", i, c)
+		}
+	}
+}
+
+func TestDowntimeDefault(t *testing.T) {
+	in, err := New(&Config{ChurnRate: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Config().MeanDowntime; got != 100 {
+		t.Errorf("defaulted MeanDowntime = %g, want 1/ChurnRate = 100", got)
+	}
+}
+
+func TestTimelineDeterministic(t *testing.T) {
+	cfg := Config{ChurnRate: 0.01, MeanDowntime: 20, MassCrashTime: 500, MassCrashFrac: 0.3, Seed: 42}
+	a, _ := New(&cfg)
+	b, _ := New(&cfg)
+	ta := a.Timeline(20, 1000)
+	tb := b.Timeline(20, 1000)
+	if len(ta) == 0 {
+		t.Fatal("empty timeline")
+	}
+	if len(ta) != len(tb) {
+		t.Fatalf("timeline lengths differ: %d vs %d", len(ta), len(tb))
+	}
+	for i := range ta {
+		if ta[i] != tb[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, ta[i], tb[i])
+		}
+	}
+}
+
+func TestTimelineSortedAndBounded(t *testing.T) {
+	in, _ := New(&Config{ChurnRate: 0.02, MeanDowntime: 10, Seed: 3})
+	evs := in.Timeline(15, 800)
+	last := -1.0
+	for i, e := range evs {
+		if e.T < last {
+			t.Fatalf("event %d out of order: %g after %g", i, e.T, last)
+		}
+		last = e.T
+		if e.T >= 800 {
+			t.Fatalf("event %d at t=%g beyond duration", i, e.T)
+		}
+		if e.Node < 0 || e.Node >= 15 {
+			t.Fatalf("event %d for node %d", i, e.Node)
+		}
+	}
+	// Per node, crashes and rejoins must alternate starting with a crash.
+	state := make(map[int]bool) // true = down
+	for _, e := range evs {
+		if state[e.Node] == e.Down {
+			t.Fatalf("node %d: consecutive %v events", e.Node, e.Down)
+		}
+		state[e.Node] = e.Down
+	}
+}
+
+func TestMassCrashSubset(t *testing.T) {
+	in, _ := New(&Config{MassCrashTime: 300, MassCrashFrac: 0.4, MassDowntime: 50, Seed: 9})
+	evs := in.Timeline(20, 1000)
+	var crashes, rejoins int
+	seen := make(map[int]bool)
+	for _, e := range evs {
+		if e.T == 300 && e.Down {
+			crashes++
+			if seen[e.Node] {
+				t.Fatalf("node %d crashed twice at the mass event", e.Node)
+			}
+			seen[e.Node] = true
+		}
+		if e.T == 350 && !e.Down {
+			rejoins++
+		}
+	}
+	if crashes != 8 { // round(0.4 · 20)
+		t.Errorf("mass crash hit %d nodes, want 8", crashes)
+	}
+	if rejoins != 8 {
+		t.Errorf("%d rejoins at t=350, want 8", rejoins)
+	}
+}
+
+func TestMeetingAndMandateDraws(t *testing.T) {
+	certain, _ := New(&Config{PLoss: 1, PDrop: 1})
+	if !certain.TruncateMeeting() || !certain.DropMandate() {
+		t.Error("probability-1 faults did not fire")
+	}
+	// PLoss 0 must not consume RNG state: two injectors differing only in
+	// whether TruncateMeeting was polled draw identical drop sequences.
+	cfg := Config{PDrop: 0.5, Seed: 11}
+	a, _ := New(&cfg)
+	b, _ := New(&cfg)
+	for i := 0; i < 50; i++ {
+		a.TruncateMeeting() // PLoss 0: early return, no draw
+		if a.DropMandate() != b.DropMandate() {
+			t.Fatalf("draw %d diverged after zero-probability polls", i)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package numeric
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// The solvers must refuse to certify a root when the function (or the
+// bracket itself) evaluates to NaN: every float comparison against NaN is
+// false, so without explicit checks the sign logic silently "succeeds".
+
+func TestBisectNaNFunction(t *testing.T) {
+	f := func(x float64) float64 {
+		if x > 0.5 {
+			return math.NaN()
+		}
+		return x - 0.75
+	}
+	if _, err := Bisect(f, 0, 1, 1e-10); !errors.Is(err, ErrNaN) {
+		t.Fatalf("Bisect over NaN region: err = %v, want ErrNaN", err)
+	}
+}
+
+func TestBisectNaNEndpoint(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	if _, err := Bisect(f, math.NaN(), 1, 1e-10); !errors.Is(err, ErrNaN) {
+		t.Fatalf("Bisect with NaN endpoint: err = %v, want ErrNaN", err)
+	}
+}
+
+func TestInvertDecreasingNaN(t *testing.T) {
+	f := func(x float64) float64 { return math.NaN() }
+	if _, err := InvertDecreasing(f, 1, 1); !errors.Is(err, ErrNaN) {
+		t.Fatalf("InvertDecreasing of NaN function: err = %v, want ErrNaN", err)
+	}
+	if _, err := InvertDecreasing(func(x float64) float64 { return 1 / x }, math.NaN(), 1); !errors.Is(err, ErrNaN) {
+		t.Fatalf("InvertDecreasing with NaN target: err = %v, want ErrNaN", err)
+	}
+}
+
+func TestInvertDecreasingNoBracket(t *testing.T) {
+	// f ≡ 1 never reaches target 2 no matter how far lo expands.
+	if _, err := InvertDecreasing(func(x float64) float64 { return 1 }, 2, 1); !errors.Is(err, ErrNoBracket) {
+		t.Fatalf("constant below target: err = %v, want ErrNoBracket", err)
+	}
+}
+
+func TestWaterFillNaNDerivative(t *testing.T) {
+	p := WaterFillProblem{
+		Weights: []float64{1, 1},
+		Caps:    []float64{10, 10},
+		Budget:  5,
+		Deriv:   func(x float64) float64 { return math.NaN() },
+	}
+	if _, err := WaterFill(p); err == nil {
+		t.Fatal("WaterFill with NaN derivative returned no error")
+	}
+}
+
+func TestWaterFillPartialNaNDerivative(t *testing.T) {
+	// Coordinate 1's derivative goes NaN only on the interior, which the
+	// old code silently zeroed; the error must surface instead.
+	p := WaterFillProblem{
+		Weights: []float64{1, 1},
+		Caps:    []float64{10, 10},
+		Budget:  12,
+		DerivFor: func(i int, x float64) float64 {
+			if i == 1 && x > 1e-6 && x < 9 {
+				return math.NaN()
+			}
+			return 1 / (1 + x)
+		},
+	}
+	if _, err := WaterFill(p); err == nil {
+		t.Fatal("WaterFill with partially-NaN derivative returned no error")
+	}
+}
+
+func TestWaterFillStillSolvesHonestProblems(t *testing.T) {
+	// Regression guard: the new error paths must not reject a well-posed
+	// problem. Exponential-decay derivative, all interior.
+	p := WaterFillProblem{
+		Weights: []float64{3, 2, 1},
+		Caps:    []float64{50, 50, 50},
+		Budget:  9,
+		Deriv:   func(x float64) float64 { return math.Exp(-x) },
+	}
+	x, err := WaterFill(p)
+	if err != nil {
+		t.Fatalf("WaterFill: %v", err)
+	}
+	var sum float64
+	for _, v := range x {
+		sum += v
+	}
+	if math.Abs(sum-9) > 1e-6 {
+		t.Fatalf("Σx = %g, want 9", sum)
+	}
+	// Balance condition: w_i·e^{-x_i} equal across coordinates.
+	l0 := 3 * math.Exp(-x[0])
+	for i := 1; i < 3; i++ {
+		li := p.Weights[i] * math.Exp(-x[i])
+		if math.Abs(li-l0) > 1e-6*l0 {
+			t.Errorf("coordinate %d: multiplier %g != %g", i, li, l0)
+		}
+	}
+}

@@ -13,6 +13,12 @@ var ErrNoBracket = errors.New("numeric: endpoints do not bracket a root")
 // budget without meeting its tolerance.
 var ErrNoConverge = errors.New("numeric: iteration did not converge")
 
+// ErrNaN is returned when the function under study evaluates to NaN (or
+// the bracket itself is NaN) at a probe point, so the sign logic that
+// bisection relies on is meaningless. Returning the last iterate there
+// would silently hand a garbage root to the allocation solvers.
+var ErrNaN = errors.New("numeric: function evaluated to NaN at a probe point")
+
 // Bisect finds x in [a, b] with f(x) = 0 by bisection, assuming f is
 // continuous and f(a), f(b) have opposite signs (one may be zero). The
 // result is accurate to xtol in the argument. Bisection is slow but
@@ -22,7 +28,13 @@ func Bisect(f func(float64) float64, a, b, xtol float64) (float64, error) {
 	if xtol <= 0 {
 		xtol = 1e-12
 	}
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return 0, ErrNaN
+	}
 	fa, fb := f(a), f(b)
+	if math.IsNaN(fa) || math.IsNaN(fb) {
+		return 0, ErrNaN
+	}
 	if fa == 0 {
 		return a, nil
 	}
@@ -38,6 +50,9 @@ func Bisect(f func(float64) float64, a, b, xtol float64) (float64, error) {
 			return m, nil
 		}
 		fm := f(m)
+		if math.IsNaN(fm) {
+			return 0, ErrNaN
+		}
 		if fm == 0 {
 			return m, nil
 		}
@@ -59,15 +74,23 @@ func InvertDecreasing(f func(float64) float64, target, x0 float64) (float64, err
 	if x0 <= 0 {
 		x0 = 1
 	}
+	if math.IsNaN(target) {
+		return 0, ErrNaN
+	}
 	lo, hi := x0, x0
 	flo, fhi := f(lo), f(hi)
-	// Expand lo downward until f(lo) >= target.
+	// Expand lo downward until f(lo) >= target. A NaN evaluation must be
+	// caught explicitly: every comparison against NaN is false, so it would
+	// otherwise pass as a satisfied bracket condition.
 	for i := 0; flo < target; i++ {
 		if i >= 600 {
 			return lo, ErrNoBracket
 		}
 		lo /= 2
 		flo = f(lo)
+	}
+	if math.IsNaN(flo) {
+		return 0, ErrNaN
 	}
 	// Expand hi upward until f(hi) <= target.
 	for i := 0; fhi > target; i++ {
@@ -76,6 +99,9 @@ func InvertDecreasing(f func(float64) float64, target, x0 float64) (float64, err
 		}
 		hi *= 2
 		fhi = f(hi)
+	}
+	if math.IsNaN(fhi) {
+		return 0, ErrNaN
 	}
 	if lo == hi {
 		return lo, nil

@@ -2,6 +2,7 @@ package numeric
 
 import (
 	"errors"
+	"fmt"
 	"math"
 )
 
@@ -69,6 +70,12 @@ func WaterFill(p WaterFillProblem) ([]float64, error) {
 		return x, nil
 	}
 
+	// fill records the first per-coordinate inversion failure instead of
+	// silently zeroing the coordinate: a NaN derivative or a vanished
+	// bracket means the balance condition cannot be certified, and the
+	// caller must hear about it rather than receive a plausible-looking
+	// allocation.
+	var fillErr error
 	fill := func(lambda float64) float64 {
 		var total float64
 		for i := range x {
@@ -86,7 +93,13 @@ func WaterFill(p WaterFillProblem) ([]float64, error) {
 				x[i] = 0
 			} else {
 				v, err := InvertDecreasing(deriv, target, p.Caps[i]/2)
-				if err != nil || v < 0 {
+				if err != nil {
+					if fillErr == nil {
+						fillErr = fmt.Errorf("numeric: water-filling coordinate %d at λ=%g: %w", i, lambda, err)
+					}
+					v = 0
+				}
+				if v < 0 {
 					v = 0
 				}
 				if v > p.Caps[i] {
@@ -150,6 +163,9 @@ func WaterFill(p WaterFillProblem) ([]float64, error) {
 		}
 	}
 	total := fill(hi)
+	if fillErr != nil {
+		return nil, fillErr
+	}
 	// Distribute any residual rounding slack proportionally over interior
 	// coordinates so Σ x_i = Budget holds tightly.
 	if slack := p.Budget - total; math.Abs(slack) > 1e-12*math.Max(1, p.Budget) {
@@ -175,6 +191,20 @@ func WaterFill(p WaterFillProblem) ([]float64, error) {
 				}
 			}
 		}
+	}
+	// Certify the budget constraint: if the λ-bisection stalled (flat or
+	// ill-conditioned derivatives) the slack pass above cannot repair an
+	// arbitrarily large gap, and the result would quietly violate
+	// Σ x_i = Budget. The tolerance is loose enough for honest rounding.
+	var sum float64
+	for _, v := range x {
+		if math.IsNaN(v) {
+			return nil, ErrNaN
+		}
+		sum += v
+	}
+	if math.Abs(sum-p.Budget) > 1e-6*math.Max(1, p.Budget) {
+		return nil, ErrNoConverge
 	}
 	return x, nil
 }

@@ -10,6 +10,14 @@
 // for the full protocol exchange, cache replacement is uniformly random
 // over non-sticky slots, each item has one sticky replica that cannot be
 // evicted, and rewriting is disabled unless the policy enables it.
+//
+// Those Section-6.1 idealizations can be selectively removed through the
+// fault-injection layer (Config.Faults, package internal/faults): nodes
+// crash and rejoin empty, meetings lose their content-transfer phase,
+// and routed mandates drop in flight. With fault injection disabled the
+// simulator is byte-identical to the idealized model for the same seed —
+// the fault layer draws from its own RNG stream and every fault code
+// path is gated on it being enabled.
 package sim
 
 import (
@@ -20,6 +28,7 @@ import (
 	"impatience/internal/alloc"
 	"impatience/internal/core"
 	"impatience/internal/demand"
+	"impatience/internal/faults"
 	"impatience/internal/trace"
 	"impatience/internal/utility"
 )
@@ -70,6 +79,16 @@ type Config struct {
 	DemandSwitch     *demand.Popularity
 	DemandSwitchTime float64
 
+	// Faults enables fault injection: node churn (crash/rejoin with the
+	// whole cache and pending mandates lost), truncated meetings (the
+	// content-transfer phase fails with probability PLoss), and in-flight
+	// mandate drops at routing handoffs (PDrop). nil — or a config whose
+	// Enabled() is false — is a strict no-op: the run is byte-identical
+	// to one without the fault layer. When the run uses sticky replicas,
+	// the hardening re-pins an item's sticky copy at the next node that
+	// serves (or locally fulfills) it after the original holder crashed.
+	Faults *faults.Config
+
 	// ServerCount switches the population to the paper's dedicated-node
 	// case (C ∩ S = ∅): nodes [0, ServerCount) are cache-only servers
 	// (kiosks, throwboxes, buses) and the remaining nodes are client-only
@@ -105,10 +124,14 @@ type Result struct {
 	FinalCounts    alloc.Counts
 	Outstanding    int // unfulfilled requests at the end
 	// OutstandingCost is the accrued waiting cost Σ min(0, h(age)) of the
-	// requests still open at the horizon (already included in TotalGain).
+	// requests still open at the horizon, plus the same charge for
+	// requests wiped by node crashes (already included in TotalGain).
 	OutstandingCost float64
 	Bins            []Bin
 	Overhead        Overhead
+	// Faults tallies injected faults and hardening reactions; nil when
+	// fault injection is disabled.
+	Faults *faults.Tally
 }
 
 // Overhead tallies the communication cost of a run, in protocol units
@@ -142,6 +165,13 @@ type state struct {
 
 	// outstanding requests: per node, item → open requests.
 	reqs []map[int][]request
+
+	// Fault-injection state; inj is nil when the layer is off, and every
+	// fault code path below is gated on it.
+	inj       *faults.Injector
+	tally     faults.Tally
+	down      []bool // per node: currently crashed?
+	truncated bool   // current meeting lost its content-transfer phase
 }
 
 type request struct {
@@ -162,7 +192,12 @@ func (s *state) Has(node, item int) bool { return s.has[node*s.items+item] }
 func (s *state) StickyNode(item int) int { return s.stickyN[item] }
 
 // Write implements core.Cache: random replacement over non-sticky slots.
+// During a truncated meeting the content payload cannot cross, so every
+// write fails and the driving mandate stays pending for a later retry.
 func (s *state) Write(node, item int) bool {
+	if s.truncated {
+		return false
+	}
 	if s.Has(node, item) {
 		return false
 	}
@@ -229,6 +264,86 @@ func (s *state) freeSlots(node int) int {
 		}
 	}
 	return n
+}
+
+// reseed re-pins item's sticky replica at a node currently holding it —
+// the hardening that keeps items from going extinct once their original
+// sticky holder crashed. Called on the first fulfillment of the item
+// after the loss.
+func (s *state) reseed(node, item int) {
+	for k, it := range s.slots[node] {
+		if int(it) == item {
+			s.stickyS[node][k] = true
+			s.stickyN[item] = node
+			s.tally.StickyReseeded++
+			return
+		}
+	}
+}
+
+// crash wipes a node: its whole cache (sticky replicas included), its
+// open requests, and — via core.CrashAware — any pending mandates the
+// policy parked there. The accrued waiting cost of the wiped requests is
+// charged exactly like the horizon accounting for outstanding requests.
+func (s *state) crash(n int, t float64, res *Result) {
+	s.down[n] = true
+	s.tally.Crashes++
+	for k := range s.slots[n] {
+		it := s.slots[n][k]
+		if it < 0 {
+			continue
+		}
+		s.has[n*s.items+int(it)] = false
+		s.counts[it]--
+		s.tally.ReplicasLost++
+		if s.stickyS[n][k] {
+			s.stickyS[n][k] = false
+			s.stickyN[it] = -1
+			s.tally.StickyLost++
+		}
+		s.slots[n][k] = -1
+	}
+	if len(s.reqs[n]) > 0 {
+		// Sorted item order: map iteration would make the float summation
+		// order — and hence the Result — irreproducible.
+		items := make([]int, 0, len(s.reqs[n]))
+		for item := range s.reqs[n] {
+			items = append(items, item)
+		}
+		sort.Ints(items)
+		for _, item := range items {
+			f := s.utilityFor(item)
+			for _, rq := range s.reqs[n][item] {
+				s.tally.RequestsLost++
+				age := t - rq.t0
+				if age <= 0 {
+					age = 1e-9
+				}
+				if h := f.H(age); h < 0 && rq.t0 >= res.MeasureStart {
+					res.TotalGain += h
+					res.OutstandingCost += h
+				}
+			}
+		}
+		s.reqs[n] = make(map[int][]request)
+	}
+	if ca, ok := s.cfg.Policy.(core.CrashAware); ok {
+		s.tally.MandatesCrashed += ca.OnCrash(n)
+	}
+}
+
+// applyFault processes one churn event. Events are idempotent: a crash
+// of an already-down node or a rejoin of an up node is ignored (the
+// per-node churn clock and the mass-crash overlay can overlap).
+func (s *state) applyFault(ev faults.Event, res *Result) {
+	if ev.Down {
+		if !s.down[ev.Node] {
+			s.crash(ev.Node, ev.T, res)
+		}
+	} else if s.down[ev.Node] {
+		s.down[ev.Node] = false
+		s.tally.Rejoins++
+	}
 }
 
 // Run executes the simulation.
@@ -305,6 +420,21 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
+	// Fault injection: a nil injector keeps every fault path dormant.
+	s.inj, err = faults.New(cfg.Faults)
+	if err != nil {
+		return nil, err
+	}
+	var fevents []faults.Event
+	if s.inj != nil {
+		s.down = make([]bool, nodes)
+		fevents = s.inj.Timeline(nodes, cfg.Trace.Duration)
+		if fa, ok := cfg.Policy.(core.FaultAware); ok {
+			fa.SetDisruptor(s.inj)
+		}
+	}
+	fi := 0
+
 	cfg.Policy.Init(s)
 
 	res := &Result{
@@ -357,9 +487,17 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	handleArrival := func(r demand.Request) {
+		if s.inj != nil && s.down[r.Node] {
+			// The device is off: the request is never issued.
+			s.tally.DroppedArrivals++
+			return
+		}
 		if s.Has(r.Node, r.Item) {
 			// Pure P2P immediate fulfillment from the local cache.
 			record(r.T, s.utilityFor(r.Item).H0(), true)
+			if s.inj != nil && !cfg.NoSticky && s.stickyN[r.Item] < 0 {
+				s.reseed(r.Node, r.Item)
+			}
 			cfg.Policy.OnFulfill(s, r.Node, r.Node, r.Item, 0, 0, r.T)
 			return
 		}
@@ -383,12 +521,19 @@ func Run(cfg Config) (*Result, error) {
 		sort.Ints(items)
 		for _, item := range items {
 			list := m[item]
-			if s.Has(peer, item) {
+			// A truncated meeting completes the metadata exchange (the
+			// query counters advance) but loses the item payload: the
+			// request stays open and retries at the next meeting with a
+			// holder.
+			if s.Has(peer, item) && !s.truncated {
 				for _, rq := range list {
 					q := rq.queries + 1
 					age := t - rq.t0
 					record(t, s.utilityFor(item).H(age), false)
 					cfg.Policy.OnFulfill(s, n, peer, item, q, age, t)
+				}
+				if s.inj != nil && !s.cfg.NoSticky && s.stickyN[item] < 0 {
+					s.reseed(peer, item)
 				}
 				delete(m, item)
 			} else {
@@ -401,28 +546,56 @@ func Run(cfg Config) (*Result, error) {
 
 	switched := cfg.DemandSwitch == nil
 	next, ok := proc.Next()
-	for _, c := range cfg.Trace.Contacts {
-		for ok && next.T <= c.T {
-			if !switched && next.T >= cfg.DemandSwitchTime {
-				if err := proc.SetPopularity(*cfg.DemandSwitch); err != nil {
-					return nil, err
-				}
-				switched = true
+	// advanceTo interleaves request arrivals and churn events in time
+	// order up to the given horizon (the next contact, or the end of the
+	// trace). With fault injection off there are no churn events and this
+	// reduces exactly to the original arrival drain.
+	advanceTo := func(horizon float64) error {
+		for {
+			if fi < len(fevents) && fevents[fi].T <= horizon &&
+				(!ok || next.T > fevents[fi].T) {
+				s.applyFault(fevents[fi], res)
+				fi++
+				continue
 			}
-			handleArrival(next)
-			next, ok = proc.Next()
+			if ok && next.T <= horizon {
+				if !switched && next.T >= cfg.DemandSwitchTime {
+					if err := proc.SetPopularity(*cfg.DemandSwitch); err != nil {
+						return err
+					}
+					switched = true
+				}
+				handleArrival(next)
+				next, ok = proc.Next()
+				continue
+			}
+			return nil
+		}
+	}
+	for _, c := range cfg.Trace.Contacts {
+		if err := advanceTo(c.T); err != nil {
+			return nil, err
 		}
 		flushTo(c.T)
+		if s.inj != nil && (s.down[c.A] || s.down[c.B]) {
+			// A crashed node cannot meet anyone; the contact is lost.
+			s.tally.SkippedContacts++
+			continue
+		}
 		res.Meetings++
+		if s.inj != nil && s.inj.TruncateMeeting() {
+			s.truncated = true
+			s.tally.TruncatedMeetings++
+		}
 		fulfillSide(c.A, c.B, c.T)
 		fulfillSide(c.B, c.A, c.T)
 		cfg.Policy.OnMeeting(s, c.A, c.B, c.T)
+		s.truncated = false
 	}
-	// Drain arrivals up to the end of the trace (they can no longer be
-	// fulfilled but belong to Outstanding).
-	for ok && next.T <= cfg.Trace.Duration {
-		handleArrival(next)
-		next, ok = proc.Next()
+	// Drain arrivals (they can no longer be fulfilled but belong to
+	// Outstanding) and churn events up to the end of the trace.
+	if err := advanceTo(cfg.Trace.Duration); err != nil {
+		return nil, err
 	}
 	flushTo(cfg.Trace.Duration)
 	// Finalize the last open bin and drop any bin starting at or past the
@@ -477,6 +650,13 @@ func Run(cfg Config) (*Result, error) {
 	if mm, ok := cfg.Policy.(interface{ MandatesMoved() int }); ok {
 		res.Overhead.MandateTransfers = mm.MandatesMoved()
 	}
+	if s.inj != nil {
+		if fc, ok := cfg.Policy.(interface{ FaultCounters() (int, int, int) }); ok {
+			s.tally.MandatesDropped, s.tally.MandatesExpired, s.tally.MandatesAbandoned = fc.FaultCounters()
+		}
+		t := s.tally
+		res.Faults = &t
+	}
 	return res, nil
 }
 
@@ -503,6 +683,9 @@ func validate(cfg *Config) error {
 		return fmt.Errorf("sim: empty catalog")
 	}
 	if err := cfg.Trace.Validate(); err != nil {
+		return err
+	}
+	if err := cfg.Faults.Validate(); err != nil {
 		return err
 	}
 	if cfg.ServerCount < 0 || cfg.ServerCount >= cfg.Trace.Nodes {
