@@ -1,0 +1,157 @@
+// Command agebench measures the parallel trial engine and records the
+// result as a machine-readable regression artifact. It runs the
+// scheme-comparison pipeline (trace generation, QCR/OPT/UNI simulation,
+// trial-order aggregation) at a ladder of worker counts via
+// testing.Benchmark and writes BENCH_trials.json with ns/op, allocs/op
+// and the speedup relative to the serial (1-worker) run. CI uploads the
+// file so engine regressions — in throughput or in scaling — are visible
+// across commits.
+//
+// Determinism note: every worker count computes bit-identical results
+// (see internal/parallel), so the ladder measures scheduling overhead
+// and parallel speedup only, never different work.
+//
+// Usage:
+//
+//	agebench                 # full-scale measurement
+//	agebench -short          # reduced scale for CI smoke runs
+//	agebench -out bench.json # choose the output path
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"impatience/internal/experiment"
+	"impatience/internal/utility"
+)
+
+// workerLadder is the set of pool sizes measured, smallest first; the
+// first entry must be 1 because it is the speedup baseline.
+var workerLadder = []int{1, 2, 4, 8}
+
+type benchResult struct {
+	Workers         int     `json:"workers"`
+	Iterations      int     `json:"iterations"`
+	NsPerOp         int64   `json:"ns_per_op"`
+	AllocsPerOp     int64   `json:"allocs_per_op"`
+	BytesPerOp      int64   `json:"bytes_per_op"`
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+}
+
+type benchReport struct {
+	Benchmark  string        `json:"benchmark"`
+	UnixTime   int64         `json:"unix_time"`
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
+	Short      bool          `json:"short"`
+	Trials     int           `json:"trials"`
+	Nodes      int           `json:"nodes"`
+	Items      int           `json:"items"`
+	Duration   float64       `json:"duration_min"`
+	Results    []benchResult `json:"results"`
+}
+
+func main() {
+	short := flag.Bool("short", false, "reduced scale (CI smoke run)")
+	out := flag.String("out", "BENCH_trials.json", "output path for the JSON report")
+	flag.Parse()
+
+	if err := run(*short, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "agebench:", err)
+		os.Exit(1)
+	}
+}
+
+// scenario returns the measured workload: the paper's population shape
+// with few trials and a shortened run, mirroring the repo's
+// BenchmarkTrialEngine*Workers benchmarks.
+func scenario(short bool) experiment.Scenario {
+	sc := experiment.Default()
+	sc.Trials = 8
+	sc.Duration = 1000
+	if short {
+		sc.Trials = 4
+		sc.Duration = 400
+	}
+	return sc
+}
+
+func run(short bool, out string) error {
+	sc := scenario(short)
+	schemes := []string{experiment.SchemeQCR, experiment.SchemeOPT, experiment.SchemeUNI}
+	report := benchReport{
+		Benchmark:  "TrialEngine/RunComparison",
+		UnixTime:   time.Now().Unix(),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Short:      short,
+		Trials:     sc.Trials,
+		Nodes:      sc.Nodes,
+		Items:      sc.Items,
+		Duration:   sc.Duration,
+	}
+
+	var serialNs int64
+	for _, workers := range workerLadder {
+		workers := workers
+		scw := sc
+		scw.Workers = workers
+		var benchErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := scw.RunComparison(utility.Step{Tau: 10}, scw.HomogeneousTraces(), schemes); err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+			}
+		})
+		if benchErr != nil {
+			return benchErr
+		}
+		if r.N == 0 {
+			return fmt.Errorf("benchmark at %d workers did not run", workers)
+		}
+		ns := r.NsPerOp()
+		if workers == 1 {
+			serialNs = ns
+		}
+		res := benchResult{
+			Workers:     workers,
+			Iterations:  r.N,
+			NsPerOp:     ns,
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if serialNs > 0 && ns > 0 {
+			res.SpeedupVsSerial = float64(serialNs) / float64(ns)
+		}
+		report.Results = append(report.Results, res)
+		fmt.Printf("workers=%d  %12d ns/op  %10d allocs/op  speedup %.2fx\n",
+			workers, ns, res.AllocsPerOp, res.SpeedupVsSerial)
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}

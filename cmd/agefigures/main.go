@@ -67,15 +67,16 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced trials and durations (smoke run)")
 	list := flag.Bool("list", false, "list available figure ids")
 	ascii := flag.Bool("ascii", true, "print ASCII charts")
+	workers := flag.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS); results are identical for any value")
 	flag.Parse()
 
-	if err := run(figs, *outDir, *quick, *list, *ascii); err != nil {
+	if err := run(figs, *outDir, *quick, *list, *ascii, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "agefigures:", err)
 		os.Exit(1)
 	}
 }
 
-func run(figs []string, outDir string, quick, list, ascii bool) error {
+func run(figs []string, outDir string, quick, list, ascii bool, workers int) error {
 	if list {
 		for _, f := range figureIndex {
 			fmt.Printf("  %-4s %s\n", f.id, f.desc)
@@ -88,6 +89,7 @@ func run(figs []string, outDir string, quick, list, ascii bool) error {
 		}
 	}
 	sc := experiment.Default()
+	sc.Workers = workers
 	conf := synth.DefaultConference()
 	veh := synth.DefaultVehicular()
 	if quick {

@@ -19,6 +19,8 @@ import (
 	"impatience/internal/demand"
 	"impatience/internal/experiment"
 	"impatience/internal/faults"
+	"impatience/internal/parallel"
+	"impatience/internal/stats"
 	"impatience/internal/synth"
 	"impatience/internal/trace"
 	"impatience/internal/utility"
@@ -39,6 +41,8 @@ type options struct {
 	traceKind   string
 	traceFile   string
 	seed        uint64
+	trials      int
+	workers     int
 	qcrScale    float64
 	warmup      float64
 	showAlloc   bool
@@ -48,11 +52,12 @@ type options struct {
 	churnDown  float64
 	ploss      float64
 	pdrop      float64
-	massCrash  float64
-	massFrac   float64
-	massDown   float64
-	mandateTTL float64
-	retries    int
+	massCrash   float64
+	massFrac    float64
+	massDown    float64
+	mandateTTL  float64
+	retries     int
+	faultScript string
 }
 
 func main() {
@@ -69,6 +74,8 @@ func main() {
 	flag.StringVar(&o.traceKind, "trace", "homogeneous", "contact source: homogeneous, conference, vehicular, file")
 	flag.StringVar(&o.traceFile, "trace-file", "", "trace file path when -trace file")
 	flag.Uint64Var(&o.seed, "seed", 1, "random seed")
+	flag.IntVar(&o.trials, "trials", 1, "independent trials to run and aggregate")
+	flag.IntVar(&o.workers, "workers", 0, "trial worker pool size (0 = GOMAXPROCS); results are identical for any value")
 	flag.Float64Var(&o.qcrScale, "qcr-scale", 0.1, "reaction-function scale")
 	flag.Float64Var(&o.warmup, "warmup", 0.3, "fraction of the run excluded from averages")
 	flag.BoolVar(&o.showAlloc, "show-alloc", false, "print the final per-item replica counts")
@@ -81,6 +88,7 @@ func main() {
 	flag.Float64Var(&o.massDown, "mass-down", 0, "downtime after the mass crash (minutes)")
 	flag.Float64Var(&o.mandateTTL, "mandate-ttl", 0, "mandate time-to-live (minutes; 0 = auto when faults are on)")
 	flag.IntVar(&o.retries, "retries", 5, "content-transfer attempts per mandate before abandoning (0 = unbounded)")
+	flag.StringVar(&o.faultScript, "fault-script", "", "file with a scripted fault timeline (\"<t> <node> down|up\" lines)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -92,7 +100,7 @@ func main() {
 // faultPlan translates the fault flags into an experiment.FaultPlan, or
 // nil when every fault class is off (the simulator is then bit-identical
 // to a build without the fault layer).
-func (o options) faultPlan() *experiment.FaultPlan {
+func (o options) faultPlan() (*experiment.FaultPlan, error) {
 	fc := &faults.Config{
 		ChurnRate:     o.churn,
 		MeanDowntime:  o.churnDown,
@@ -105,8 +113,20 @@ func (o options) faultPlan() *experiment.FaultPlan {
 	if o.massCrash > 0 {
 		fc.MassDowntime = o.massDown
 	}
+	if o.faultScript != "" {
+		f, err := os.Open(o.faultScript)
+		if err != nil {
+			return nil, err
+		}
+		evs, err := faults.ParseTimeline(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		fc.Script = evs
+	}
 	if !fc.Enabled() && o.mandateTTL == 0 {
-		return nil
+		return nil, nil
 	}
 	ttl := o.mandateTTL
 	if ttl == 0 {
@@ -115,7 +135,7 @@ func (o options) faultPlan() *experiment.FaultPlan {
 	if !fc.Enabled() {
 		fc = nil
 	}
-	return &experiment.FaultPlan{Faults: fc, MandateTTL: ttl, MaxAttempts: o.retries}
+	return &experiment.FaultPlan{Faults: fc, MandateTTL: ttl, MaxAttempts: o.retries}, nil
 }
 
 func run(o options) error {
@@ -126,8 +146,11 @@ func run(o options) error {
 
 	sc := experiment.Scenario{
 		Nodes: o.nodes, Items: o.items, Rho: o.rho, Mu: o.mu, Omega: o.omega,
-		DemandRate: o.demandRate, Duration: o.duration, Trials: 1, Seed: o.seed,
-		QCRScale: o.qcrScale, WarmupFrac: o.warmup,
+		DemandRate: o.demandRate, Duration: o.duration, Trials: o.trials, Seed: o.seed,
+		Workers: o.workers, QCRScale: o.qcrScale, WarmupFrac: o.warmup,
+	}
+	if o.trials > 1 {
+		return runTrials(o, u, sc)
 	}
 
 	var tr *trace.Trace
@@ -172,7 +195,10 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
-	plan := o.faultPlan()
+	plan, err := o.faultPlan()
+	if err != nil {
+		return err
+	}
 	res, err := sc.RunSchemeFaults(schemeName, u, tr, rates, muEff, 0, false, plan)
 	if err != nil {
 		return err
@@ -206,6 +232,94 @@ func run(o options) error {
 	if o.showAlloc {
 		fmt.Printf("final counts    %v\n", res.FinalCounts)
 	}
+	return nil
+}
+
+// traceGen builds the per-trial trace generator for -trials > 1. A trace
+// file is loaded once and shared; the synthetic kinds draw a fresh trace
+// per trial from the engine-provided seed.
+func (o options) traceGen(sc experiment.Scenario) (experiment.TraceGen, int, error) {
+	switch o.traceKind {
+	case "homogeneous":
+		return sc.HomogeneousTraces(), o.nodes, nil
+	case "conference":
+		cfg := synth.DefaultConference()
+		cfg.Nodes = o.nodes
+		return experiment.ConferenceTraces(cfg), o.nodes, nil
+	case "vehicular":
+		cfg := synth.DefaultVehicular()
+		cfg.Cabs = o.nodes
+		return experiment.VehicularTraces(cfg), o.nodes, nil
+	case "file":
+		if o.traceFile == "" {
+			return nil, 0, fmt.Errorf("-trace file requires -trace-file")
+		}
+		tr, err := trace.Load(o.traceFile)
+		if err != nil {
+			return nil, 0, err
+		}
+		return func(uint64) (*trace.Trace, error) { return tr, nil }, tr.Nodes, nil
+	default:
+		return nil, 0, fmt.Errorf("unknown trace kind %q", o.traceKind)
+	}
+}
+
+// runTrials is the -trials N path: run the scheme over N independent
+// trials on the parallel trial engine and report aggregate statistics.
+func runTrials(o options, u utility.Function, sc experiment.Scenario) error {
+	schemeName, err := canonicalScheme(o.scheme)
+	if err != nil {
+		return err
+	}
+	gen, nodes, err := o.traceGen(sc)
+	if err != nil {
+		return err
+	}
+	sc.Nodes = nodes
+	plan, err := o.faultPlan()
+	if err != nil {
+		return err
+	}
+	type out struct {
+		util        float64
+		fulfilled   int
+		outstanding int
+	}
+	results, err := parallel.RunTrials(sc.Trials, sc.Workers, sc.Seed, func(trial int, seed uint64) (out, error) {
+		tr, err := gen(seed)
+		if err != nil {
+			return out{}, err
+		}
+		s := sc
+		s.Duration = tr.Duration
+		rates := trace.EmpiricalRates(tr)
+		mu := rates.Mean()
+		if mu <= 0 {
+			return out{}, fmt.Errorf("trace has no contacts")
+		}
+		res, err := s.RunSchemeFaults(schemeName, u, tr, rates, mu, uint64(trial), false, plan)
+		if err != nil {
+			return out{}, err
+		}
+		return out{util: res.AvgUtilityRate, fulfilled: res.Fulfillments, outstanding: res.Outstanding}, nil
+	})
+	if err != nil {
+		return err
+	}
+	utils := make([]float64, len(results))
+	var fulfilled, outstanding int
+	for i, r := range results {
+		utils[i] = r.util
+		fulfilled += r.fulfilled
+		outstanding += r.outstanding
+	}
+	sum := stats.Summarize(utils)
+	fmt.Printf("scheme          %s\n", schemeName)
+	fmt.Printf("utility         %s\n", u.Name())
+	fmt.Printf("trials          %d over %d workers\n", sc.Trials, parallel.Workers(sc.Workers))
+	fmt.Printf("avg utility     %.6g (mean across trials; p5 %.6g, p95 %.6g)\n", sum.Mean, sum.P5, sum.P95)
+	fmt.Printf("fulfillments    %.1f per trial, %.1f still outstanding\n",
+		float64(fulfilled)/float64(len(results)), float64(outstanding)/float64(len(results)))
 	return nil
 }
 

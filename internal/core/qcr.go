@@ -27,7 +27,7 @@ package core
 import (
 	"math"
 	"math/rand/v2"
-	"sort"
+	"slices"
 
 	"impatience/internal/utility"
 )
@@ -243,13 +243,17 @@ type QCR struct {
 
 	rng       *rand.Rand
 	disruptor Disruptor
-	mandates  []map[int][]mandate // per node: item → pending mandates
-	moved     int                 // mandates that changed nodes (routing traffic)
-	created   int                 // mandates minted by OnFulfill
-	executed  int                 // mandates consumed by replication (incl. rewriting)
-	expired   int                 // mandates discarded by TTL expiry
-	abandoned int                 // mandates discarded after exhausting MaxAttempts
-	dropped   int                 // mandates lost in flight at handoff
+	nodes     int
+	items     int
+	piles     [][]mandate // piles[node*items+item]: pending mandates
+	keys      [][]int32   // per node: sorted items with a non-empty pile
+	scratch   []int32     // reusable union buffer for OnMeeting
+	moved     int         // mandates that changed nodes (routing traffic)
+	created   int         // mandates minted by OnFulfill
+	executed  int         // mandates consumed by replication (incl. rewriting)
+	expired   int         // mandates discarded by TTL expiry
+	abandoned int         // mandates discarded after exhausting MaxAttempts
+	dropped   int         // mandates lost in flight at handoff
 }
 
 // Name implements Policy.
@@ -263,10 +267,50 @@ func (q *QCR) Name() string {
 // Init implements Policy.
 func (q *QCR) Init(c Cache) {
 	q.rng = rand.New(rand.NewPCG(q.Seed, q.Seed^0x51ce5ca1ab1e))
-	q.mandates = make([]map[int][]mandate, c.Nodes())
-	for i := range q.mandates {
-		q.mandates[i] = make(map[int][]mandate)
+	q.nodes, q.items = c.Nodes(), c.Items()
+	q.piles = make([][]mandate, q.nodes*q.items)
+	q.keys = make([][]int32, q.nodes)
+	q.scratch = nil
+}
+
+// pileAt returns the pending-mandate pile for item at node.
+func (q *QCR) pileAt(node, item int) []mandate {
+	return q.piles[node*q.items+item]
+}
+
+// setPile stores a pile back, keeping the node's sorted key list in sync
+// with pile emptiness.
+func (q *QCR) setPile(node, item int, pile []mandate) {
+	idx := node*q.items + item
+	had := len(q.piles[idx]) > 0
+	q.piles[idx] = pile
+	if len(pile) > 0 && !had {
+		q.keys[node] = insertKey(q.keys[node], int32(item))
+	} else if len(pile) == 0 && had {
+		q.keys[node] = removeKey(q.keys[node], int32(item))
 	}
+}
+
+// insertKey adds v to a sorted key list (no-op when already present).
+func insertKey(list []int32, v int32) []int32 {
+	at, ok := slices.BinarySearch(list, v)
+	if ok {
+		return list
+	}
+	list = append(list, 0)
+	copy(list[at+1:], list[at:])
+	list[at] = v
+	return list
+}
+
+// removeKey deletes v from a sorted key list (no-op when absent).
+func removeKey(list []int32, v int32) []int32 {
+	at, ok := slices.BinarySearch(list, v)
+	if !ok {
+		return list
+	}
+	copy(list[at:], list[at+1:])
+	return list[:len(list)-1]
 }
 
 // SetDisruptor implements FaultAware: the simulator wires its fault
@@ -277,12 +321,12 @@ func (q *QCR) SetDisruptor(d Disruptor) { q.disruptor = d }
 // mandates along with its cache. Returns the number lost.
 func (q *QCR) OnCrash(node int) int {
 	var n int
-	for _, pile := range q.mandates[node] {
-		n += len(pile)
+	for _, it := range q.keys[node] {
+		idx := node*q.items + int(it)
+		n += len(q.piles[idx])
+		q.piles[idx] = nil
 	}
-	if n > 0 || len(q.mandates[node]) > 0 {
-		q.mandates[node] = make(map[int][]mandate)
-	}
+	q.keys[node] = q.keys[node][:0]
 	return n
 }
 
@@ -290,9 +334,9 @@ func (q *QCR) OnCrash(node int) int {
 // the divergence indicator of Figure 3.
 func (q *QCR) TotalMandates() int {
 	var sum int
-	for _, m := range q.mandates {
-		for _, pile := range m {
-			sum += len(pile)
+	for n := 0; n < q.nodes; n++ {
+		for _, it := range q.keys[n] {
+			sum += len(q.piles[n*q.items+int(it)])
 		}
 	}
 	return sum
@@ -306,8 +350,8 @@ func (q *QCR) MandatesMoved() int { return q.moved }
 // MandatesFor returns pending mandates for one item across all nodes.
 func (q *QCR) MandatesFor(item int) int {
 	var sum int
-	for _, m := range q.mandates {
-		sum += len(m[item])
+	for n := 0; n < q.nodes; n++ {
+		sum += len(q.piles[n*q.items+item])
 	}
 	return sum
 }
@@ -332,13 +376,18 @@ func (q *QCR) FaultCounters() (dropped, expired, abandoned int) {
 }
 
 // count returns the pending mandates for item at node (test hook).
-func (q *QCR) count(node, item int) int { return len(q.mandates[node][item]) }
+func (q *QCR) count(node, item int) int { return len(q.pileAt(node, item)) }
 
 // addMandates injects n mandates born at the given time (test hook).
 func (q *QCR) addMandates(node, item, n int, born float64) {
-	for k := 0; k < n; k++ {
-		q.mandates[node][item] = append(q.mandates[node][item], mandate{born: born})
+	if n <= 0 {
+		return
 	}
+	pile := q.pileAt(node, item)
+	for k := 0; k < n; k++ {
+		pile = append(pile, mandate{born: born})
+	}
+	q.setPile(node, item, pile)
 	q.created += n
 }
 
@@ -363,11 +412,11 @@ func (q *QCR) OnFulfill(c Cache, node, peer, item, queries int, age, now float64
 		k++
 	}
 	if k > 0 {
-		pile := q.mandates[node][item]
+		pile := q.pileAt(node, item)
 		for j := 0; j < k; j++ {
 			pile = append(pile, mandate{born: now})
 		}
-		q.mandates[node][item] = pile
+		q.setPile(node, item, pile)
 		q.created += k
 	}
 }
@@ -409,33 +458,44 @@ func (q *QCR) expireOld(pile []mandate, now float64) []mandate {
 // mandate per item (creating a replica on whichever of the two nodes
 // lacks the item), then route the remainder.
 func (q *QCR) OnMeeting(c Cache, a, b int, now float64) {
-	ma, mb := q.mandates[a], q.mandates[b]
-	if len(ma) == 0 && len(mb) == 0 {
+	ka, kb := q.keys[a], q.keys[b]
+	if len(ka) == 0 && len(kb) == 0 {
 		return
 	}
-	// Collect the union of items with pending mandates on either side, in
-	// sorted order: map iteration order is randomized and would make runs
-	// irreproducible.
-	items := make([]int, 0, len(ma)+len(mb))
-	for i := range ma {
-		items = append(items, i)
-	}
-	for i := range mb {
-		if _, dup := ma[i]; !dup {
-			items = append(items, i)
+	// Merge the two sorted per-node key lists into the sorted union of
+	// items with pending mandates on either side. The buffer is reused
+	// across meetings; it must be a snapshot because the loop body edits
+	// the key lists through setPile.
+	union := q.scratch[:0]
+	i, j := 0, 0
+	for i < len(ka) && j < len(kb) {
+		switch {
+		case ka[i] < kb[j]:
+			union = append(union, ka[i])
+			i++
+		case ka[i] > kb[j]:
+			union = append(union, kb[j])
+			j++
+		default:
+			union = append(union, ka[i])
+			i++
+			j++
 		}
 	}
-	sort.Ints(items)
-	for _, item := range items {
-		pa, pb := ma[item], mb[item]
+	union = append(union, ka[i:]...)
+	union = append(union, kb[j:]...)
+	q.scratch = union
+	for _, it := range union {
+		item := int(it)
+		pa, pb := q.pileAt(a, item), q.pileAt(b, item)
 		origA, origB := len(pa), len(pb) // pre-meeting piles, for moved accounting
 		if q.MandateTTL > 0 {
 			pa = q.expireOld(pa, now)
 			pb = q.expireOld(pb, now)
 		}
 		if len(pa)+len(pb) == 0 {
-			setOrDelete(ma, item, pa)
-			setOrDelete(mb, item, pb)
+			q.setPile(a, item, pa)
+			q.setPile(b, item, pb)
 			continue
 		}
 		hasA, hasB := c.Has(a, item), c.Has(b, item)
@@ -509,8 +569,8 @@ func (q *QCR) OnMeeting(c Cache, a, b int, now float64) {
 		if gain := len(pb) - origB; gain > 0 {
 			q.moved += gain
 		}
-		setOrDelete(ma, item, pa)
-		setOrDelete(mb, item, pb)
+		q.setPile(a, item, pa)
+		q.setPile(b, item, pb)
 	}
 }
 
@@ -573,13 +633,5 @@ func (q *QCR) route(c Cache, a, b, item, total int, hasA, hasB bool) (na, nb int
 			na, nb = nb, na
 		}
 		return na, nb
-	}
-}
-
-func setOrDelete(m map[int][]mandate, item int, pile []mandate) {
-	if len(pile) == 0 {
-		delete(m, item)
-	} else {
-		m[item] = pile
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"impatience/internal/core"
 	"impatience/internal/demand"
 	"impatience/internal/meanfield"
+	"impatience/internal/parallel"
 	"impatience/internal/plot"
 	"impatience/internal/sim"
 	"impatience/internal/stats"
@@ -87,18 +88,18 @@ func AblationPopularity(sc Scenario, omegas []float64, f utility.Function) (*plo
 func AblationRewriting(sc Scenario, f utility.Function) (*plot.Table, error) {
 	gen := sc.HomogeneousTraces()
 	pop := sc.Pop()
-	var lossNo, lossYes []float64
-	for trial := 0; trial < sc.Trials; trial++ {
-		tr, err := gen(sc.Seed + uint64(trial)*997)
+	outs, err := parallel.RunTrials(sc.Trials, sc.Workers, sc.Seed, func(trial int, seed uint64) ([2]float64, error) {
+		tr, err := gen(seed)
 		if err != nil {
-			return nil, err
+			return [2]float64{}, err
 		}
 		rates := trace.EmpiricalRates(tr)
 		optRes, err := sc.RunScheme(SchemeOPT, f, tr, rates, sc.Mu, uint64(trial), false)
 		if err != nil {
-			return nil, err
+			return [2]float64{}, err
 		}
-		for _, rewriting := range []bool{false, true} {
+		var loss [2]float64 // [no rewriting, rewriting]
+		for k, rewriting := range []bool{false, true} {
 			q := sc.qcrPolicy(f, sc.Mu, true, sc.Seed*7919+uint64(trial))
 			q.Rewriting = rewriting
 			res, err := sim.Run(sim.Config{
@@ -106,15 +107,19 @@ func AblationRewriting(sc Scenario, f utility.Function) (*plot.Table, error) {
 				Seed: sc.Seed*1_000_003 + uint64(trial)*101, WarmupFrac: sc.WarmupFrac,
 			})
 			if err != nil {
-				return nil, err
+				return [2]float64{}, err
 			}
-			loss := stats.NormalizedLoss(res.AvgUtilityRate, optRes.AvgUtilityRate)
-			if rewriting {
-				lossYes = append(lossYes, loss)
-			} else {
-				lossNo = append(lossNo, loss)
-			}
+			loss[k] = stats.NormalizedLoss(res.AvgUtilityRate, optRes.AvgUtilityRate)
 		}
+		return loss, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var lossNo, lossYes []float64
+	for _, l := range outs {
+		lossNo = append(lossNo, l[0])
+		lossYes = append(lossYes, l[1])
 	}
 	table := &plot.Table{Title: "Ablation X2: rewriting vs no-rewriting (loss vs OPT, %)", XLabel: "trial"}
 	for i := range lossNo {
@@ -187,13 +192,12 @@ func DynamicDemand(sc Scenario, f utility.Function) (*plot.Table, error) {
 	}
 	uOptNew := hNew.WelfareCounts(optNew)
 	gen := sc.HomogeneousTraces()
-	var times []float64
-	var trials [][]float64
 	switchT := sc.Duration / 3
-	for trial := 0; trial < sc.Trials; trial++ {
-		tr, err := gen(sc.Seed + uint64(trial)*997)
+	type trialOut struct{ times, u []float64 }
+	outs, err := parallel.RunTrials(sc.Trials, sc.Workers, sc.Seed, func(trial int, seed uint64) (trialOut, error) {
+		tr, err := gen(seed)
 		if err != nil {
-			return nil, err
+			return trialOut{}, err
 		}
 		q := sc.qcrPolicy(f, sc.Mu, true, sc.Seed*7919+uint64(trial))
 		res, err := sim.Run(sim.Config{
@@ -203,20 +207,30 @@ func DynamicDemand(sc Scenario, f utility.Function) (*plot.Table, error) {
 			DemandSwitch: &flipped, DemandSwitchTime: switchT,
 		})
 		if err != nil {
-			return nil, err
+			return trialOut{}, err
 		}
-		u := make([]float64, len(res.Bins))
-		ts := make([]float64, len(res.Bins))
+		out := trialOut{
+			times: make([]float64, len(res.Bins)),
+			u:     make([]float64, len(res.Bins)),
+		}
 		for i, b := range res.Bins {
-			ts[i] = b.T0
+			out.times[i] = b.T0
 			if b.Counts != nil {
-				u[i] = hNew.WelfareCounts(b.Counts)
+				out.u[i] = hNew.WelfareCounts(b.Counts)
 			}
 		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var times []float64
+	var trials [][]float64
+	for _, out := range outs {
 		if times == nil {
-			times = ts
+			times = out.times
 		}
-		trials = append(trials, u)
+		trials = append(trials, out.u)
 	}
 	s, err := stats.MergeTrials(times, trials)
 	if err != nil {
@@ -281,9 +295,8 @@ func ReactionComparison(sc Scenario, f utility.Function) (*plot.Table, error) {
 			return &core.QCR{Reaction: core.ConstantReaction(sc.QCRScale), MandateRouting: true, StrictSource: true, MaxMandates: 5, Seed: seed}
 		}},
 	}
-	losses := make([][]float64, len(reactions))
-	for trial := 0; trial < sc.Trials; trial++ {
-		tr, err := gen(sc.Seed + uint64(trial)*997)
+	outs, err := parallel.RunTrials(sc.Trials, sc.Workers, sc.Seed, func(trial int, seed uint64) ([]float64, error) {
+		tr, err := gen(seed)
 		if err != nil {
 			return nil, err
 		}
@@ -292,6 +305,7 @@ func ReactionComparison(sc Scenario, f utility.Function) (*plot.Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		loss := make([]float64, len(reactions))
 		for k, r := range reactions {
 			res, err := sim.Run(sim.Config{
 				Rho: sc.Rho, Utility: f, Pop: pop, Trace: tr,
@@ -301,7 +315,17 @@ func ReactionComparison(sc Scenario, f utility.Function) (*plot.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			losses[k] = append(losses[k], stats.NormalizedLoss(res.AvgUtilityRate, optRes.AvgUtilityRate))
+			loss[k] = stats.NormalizedLoss(res.AvgUtilityRate, optRes.AvgUtilityRate)
+		}
+		return loss, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	losses := make([][]float64, len(reactions))
+	for _, l := range outs {
+		for k := range reactions {
+			losses[k] = append(losses[k], l[k])
 		}
 	}
 	table := &plot.Table{Title: "Reaction-function comparison (loss vs OPT, %)", XLabel: "trial"}

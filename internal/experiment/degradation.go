@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"impatience/internal/faults"
+	"impatience/internal/parallel"
 	"impatience/internal/plot"
 	"impatience/internal/sim"
 	"impatience/internal/stats"
@@ -46,27 +47,42 @@ func (sc Scenario) RunSchemeFaults(scheme string, u utility.Function, tr *trace.
 func (sc Scenario) degradationSweep(u utility.Function, xs []float64, build func(x float64) faults.Config, title, xlabel string) (*plot.Table, error) {
 	gen := sc.HomogeneousTraces()
 	schemes := []string{SchemeQCR, SchemeOPT, SchemeUNI}
-	per := make(map[string][][]float64, len(schemes)) // scheme → per-x trial samples
-	for _, s := range schemes {
-		per[s] = make([][]float64, len(xs))
-	}
-	for trial := 0; trial < sc.Trials; trial++ {
-		tr, err := gen(sc.Seed + uint64(trial)*997)
+	outs, err := parallel.RunTrials(sc.Trials, sc.Workers, sc.Seed, func(trial int, seed uint64) ([][]float64, error) {
+		tr, err := gen(seed)
 		if err != nil {
 			return nil, err
 		}
 		rates := trace.EmpiricalRates(tr)
 		mu := rates.Mean()
+		rows := make([][]float64, len(schemes)) // scheme → per-x sample
+		for si := range rows {
+			rows[si] = make([]float64, len(xs))
+		}
 		for xi, x := range xs {
 			fc := build(x)
 			fc.Seed = sc.Seed*69069 + uint64(trial)*127 + uint64(xi)
 			plan := sc.Hardening(&fc)
-			for _, scheme := range schemes {
+			for si, scheme := range schemes {
 				res, err := sc.RunSchemeFaults(scheme, u, tr, rates, mu, uint64(trial), false, plan)
 				if err != nil {
-					return nil, fmt.Errorf("experiment: %s at %s=%g trial %d: %w", scheme, xlabel, x, trial, err)
+					return nil, fmt.Errorf("experiment: %s at %s=%g: %w", scheme, xlabel, x, err)
 				}
-				per[scheme][xi] = append(per[scheme][xi], res.AvgUtilityRate)
+				rows[si][xi] = res.AvgUtilityRate
+			}
+		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	per := make(map[string][][]float64, len(schemes)) // scheme → per-x trial samples
+	for _, s := range schemes {
+		per[s] = make([][]float64, len(xs))
+	}
+	for _, rows := range outs {
+		for si, s := range schemes {
+			for xi := range xs {
+				per[s][xi] = append(per[s][xi], rows[si][xi])
 			}
 		}
 	}
@@ -137,13 +153,9 @@ func MassFailureRecovery(sc Scenario, u utility.Function, frac float64) (*plot.T
 	gen := sc.HomogeneousTraces()
 	schemes := []string{SchemeQCR, SchemeOPT}
 	const bins = 100
-	acc := make(map[string][]float64, len(schemes))
-	for _, s := range schemes {
-		acc[s] = make([]float64, bins)
-	}
 	crashAt := 0.4 * sc.Duration
-	for trial := 0; trial < sc.Trials; trial++ {
-		tr, err := gen(sc.Seed + uint64(trial)*997)
+	outs, err := parallel.RunTrials(sc.Trials, sc.Workers, sc.Seed, func(trial int, seed uint64) ([][]float64, error) {
+		tr, err := gen(seed)
 		if err != nil {
 			return nil, err
 		}
@@ -156,18 +168,35 @@ func MassFailureRecovery(sc Scenario, u utility.Function, frac float64) (*plot.T
 			Seed:          sc.Seed*69069 + uint64(trial)*127,
 		}
 		plan := sc.Hardening(&fc)
-		for _, scheme := range schemes {
+		rows := make([][]float64, len(schemes))
+		for si, scheme := range schemes {
 			res, err := sc.RunSchemeFaults(scheme, u, tr, rates, mu, uint64(trial), true, plan)
 			if err != nil {
-				return nil, fmt.Errorf("experiment: %s trial %d: %w", scheme, trial, err)
+				return nil, fmt.Errorf("experiment: %s: %w", scheme, err)
 			}
 			if len(res.Bins) != bins {
-				return nil, fmt.Errorf("experiment: %s trial %d: %d bins, want %d", scheme, trial, len(res.Bins), bins)
+				return nil, fmt.Errorf("experiment: %s: %d bins, want %d", scheme, len(res.Bins), bins)
 			}
+			rows[si] = make([]float64, bins)
 			for k, b := range res.Bins {
 				if w := b.T1 - b.T0; w > 0 {
-					acc[scheme][k] += b.Gain / w
+					rows[si][k] = b.Gain / w
 				}
+			}
+		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	acc := make(map[string][]float64, len(schemes))
+	for _, s := range schemes {
+		acc[s] = make([]float64, bins)
+	}
+	for _, rows := range outs {
+		for si, s := range schemes {
+			for k := range rows[si] {
+				acc[s][k] += rows[si][k]
 			}
 		}
 	}

@@ -7,11 +7,13 @@ package experiment
 
 import (
 	"fmt"
+	"math"
 	"math/rand/v2"
 
 	"impatience/internal/alloc"
 	"impatience/internal/core"
 	"impatience/internal/demand"
+	"impatience/internal/parallel"
 	"impatience/internal/sim"
 	"impatience/internal/stats"
 	"impatience/internal/synth"
@@ -33,6 +35,10 @@ type Scenario struct {
 	Duration   float64 // minutes
 	Trials     int
 	Seed       uint64
+	// Workers bounds the trial worker pool (0 or less = GOMAXPROCS).
+	// Results are bit-identical for every worker count: per-trial seeds
+	// are pure functions of (Seed, trial) — see internal/parallel.
+	Workers int
 	// QCRScale is the fallback reaction-function proportionality constant,
 	// used when burst normalization cannot be computed.
 	QCRScale float64
@@ -63,10 +69,12 @@ func Default() Scenario {
 }
 
 // Scaled returns a cheaper copy for benchmarks and smoke tests: trials
-// and duration shrink by the given factors (minimum 1 trial).
+// and duration shrink by the given factors (minimum 1 trial). The trial
+// count rounds half-up so scenarios with different Trials shrink
+// symmetrically instead of truncating toward zero.
 func (sc Scenario) Scaled(trialFrac, durFrac float64) Scenario {
 	out := sc
-	out.Trials = int(float64(sc.Trials) * trialFrac)
+	out.Trials = int(math.Floor(float64(sc.Trials)*trialFrac + 0.5))
 	if out.Trials < 1 {
 		out.Trials = 1
 	}
@@ -257,45 +265,57 @@ type Comparison struct {
 }
 
 // RunComparison runs every scheme on the same per-trial traces and
-// aggregates utilities and losses vs OPT.
+// aggregates utilities and losses vs OPT. Trials execute on the
+// parallel trial engine (sc.Workers workers); aggregation happens in
+// trial order, so results do not depend on scheduling.
 func (sc Scenario) RunComparison(u utility.Function, gen TraceGen, schemes []string) (*Comparison, error) {
-	perScheme := make(map[string][]float64, len(schemes))
-	perLoss := make(map[string][]float64, len(schemes))
 	hasOPT := false
 	for _, s := range schemes {
 		if s == SchemeOPT {
 			hasOPT = true
 		}
 	}
-	for trial := 0; trial < sc.Trials; trial++ {
-		tr, err := gen(sc.Seed + uint64(trial)*997)
+	type trialOut struct {
+		utility []float64 // indexed like schemes
+		uOpt    float64
+	}
+	outs, err := parallel.RunTrials(sc.Trials, sc.Workers, sc.Seed, func(trial int, seed uint64) (trialOut, error) {
+		tr, err := gen(seed)
 		if err != nil {
-			return nil, err
+			return trialOut{}, err
 		}
 		if tr.Nodes != sc.Nodes {
-			return nil, fmt.Errorf("experiment: trace has %d nodes, scenario %d", tr.Nodes, sc.Nodes)
+			return trialOut{}, fmt.Errorf("experiment: trace has %d nodes, scenario %d", tr.Nodes, sc.Nodes)
 		}
 		rates := trace.EmpiricalRates(tr)
 		mu := rates.Mean()
 		if mu <= 0 {
-			return nil, fmt.Errorf("experiment: empty trace in trial %d", trial)
+			return trialOut{}, fmt.Errorf("experiment: empty trace")
 		}
-		var uOpt float64
-		results := make(map[string]float64, len(schemes))
-		for _, scheme := range schemes {
+		out := trialOut{utility: make([]float64, len(schemes))}
+		for k, scheme := range schemes {
 			res, err := sc.RunScheme(scheme, u, tr, rates, mu, uint64(trial), false)
 			if err != nil {
-				return nil, fmt.Errorf("experiment: %s trial %d: %w", scheme, trial, err)
+				return trialOut{}, fmt.Errorf("experiment: %s: %w", scheme, err)
 			}
-			results[scheme] = res.AvgUtilityRate
+			out.utility[k] = res.AvgUtilityRate
 			if scheme == SchemeOPT {
-				uOpt = res.AvgUtilityRate
+				out.uOpt = res.AvgUtilityRate
 			}
 		}
-		for scheme, v := range results {
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	perScheme := make(map[string][]float64, len(schemes))
+	perLoss := make(map[string][]float64, len(schemes))
+	for _, out := range outs {
+		for k, scheme := range schemes {
+			v := out.utility[k]
 			perScheme[scheme] = append(perScheme[scheme], v)
 			if hasOPT {
-				perLoss[scheme] = append(perLoss[scheme], stats.NormalizedLoss(v, uOpt))
+				perLoss[scheme] = append(perLoss[scheme], stats.NormalizedLoss(v, out.uOpt))
 			}
 		}
 	}

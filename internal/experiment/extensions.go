@@ -7,6 +7,7 @@ import (
 
 	"impatience/internal/adaptive"
 	"impatience/internal/core"
+	"impatience/internal/parallel"
 	"impatience/internal/plot"
 	"impatience/internal/sim"
 	"impatience/internal/stats"
@@ -25,26 +26,41 @@ func OverheadComparison(sc Scenario, f utility.Function) (*plot.Table, error) {
 	gen := sc.HomogeneousTraces()
 	schemes := []string{SchemeQCR, SchemeOPT, SchemePROP}
 	type agg struct{ meta, content, mandates, fulfilled []float64 }
-	per := make(map[string]*agg, len(schemes))
-	for _, s := range schemes {
-		per[s] = &agg{}
-	}
-	for trial := 0; trial < sc.Trials; trial++ {
-		tr, err := gen(sc.Seed + uint64(trial)*997)
+	outs, err := parallel.RunTrials(sc.Trials, sc.Workers, sc.Seed, func(trial int, seed uint64) ([][4]float64, error) {
+		tr, err := gen(seed)
 		if err != nil {
 			return nil, err
 		}
 		rates := trace.EmpiricalRates(tr)
-		for _, scheme := range schemes {
+		rows := make([][4]float64, len(schemes))
+		for si, scheme := range schemes {
 			res, err := sc.RunScheme(scheme, f, tr, rates, sc.Mu, uint64(trial), false)
 			if err != nil {
 				return nil, err
 			}
-			a := per[scheme]
-			a.meta = append(a.meta, float64(res.Overhead.MetadataMsgs))
-			a.content = append(a.content, float64(res.Overhead.ContentTransfers))
-			a.mandates = append(a.mandates, float64(res.Overhead.MandateTransfers))
-			a.fulfilled = append(a.fulfilled, float64(res.Fulfillments))
+			rows[si] = [4]float64{
+				float64(res.Overhead.MetadataMsgs),
+				float64(res.Overhead.ContentTransfers),
+				float64(res.Overhead.MandateTransfers),
+				float64(res.Fulfillments),
+			}
+		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	per := make(map[string]*agg, len(schemes))
+	for _, s := range schemes {
+		per[s] = &agg{}
+	}
+	for _, rows := range outs {
+		for si, s := range schemes {
+			a := per[s]
+			a.meta = append(a.meta, rows[si][0])
+			a.content = append(a.content, rows[si][1])
+			a.mandates = append(a.mandates, rows[si][2])
+			a.fulfilled = append(a.fulfilled, rows[si][3])
 		}
 	}
 	table := &plot.Table{
@@ -99,11 +115,10 @@ func MixedCatalog(sc Scenario) (*plot.Table, error) {
 		return nil, err
 	}
 	gen := sc.HomogeneousTraces()
-	var uTuned, uMis, uOpt []float64
-	for trial := 0; trial < sc.Trials; trial++ {
-		tr, err := gen(sc.Seed + uint64(trial)*997)
+	outs, err := parallel.RunTrials(sc.Trials, sc.Workers, sc.Seed, func(trial int, seed uint64) ([3]float64, error) {
+		tr, err := gen(seed)
 		if err != nil {
-			return nil, err
+			return [3]float64{}, err
 		}
 		base := sim.Config{
 			Rho: sc.Rho, Utilities: us, Pop: pop, Trace: tr,
@@ -120,7 +135,7 @@ func MixedCatalog(sc Scenario) (*plot.Table, error) {
 		}
 		resT, err := sim.Run(cfgT)
 		if err != nil {
-			return nil, err
+			return [3]float64{}, err
 		}
 		// Mis-tuned QCR: believes everything is step content.
 		cfgM := base
@@ -133,7 +148,7 @@ func MixedCatalog(sc Scenario) (*plot.Table, error) {
 		}
 		resM, err := sim.Run(cfgM)
 		if err != nil {
-			return nil, err
+			return [3]float64{}, err
 		}
 		// Mixed OPT.
 		cfgO := base
@@ -142,11 +157,18 @@ func MixedCatalog(sc Scenario) (*plot.Table, error) {
 		cfgO.NoSticky = true
 		resO, err := sim.Run(cfgO)
 		if err != nil {
-			return nil, err
+			return [3]float64{}, err
 		}
-		uTuned = append(uTuned, resT.AvgUtilityRate)
-		uMis = append(uMis, resM.AvgUtilityRate)
-		uOpt = append(uOpt, resO.AvgUtilityRate)
+		return [3]float64{resT.AvgUtilityRate, resM.AvgUtilityRate, resO.AvgUtilityRate}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var uTuned, uMis, uOpt []float64
+	for _, v := range outs {
+		uTuned = append(uTuned, v[0])
+		uMis = append(uMis, v[1])
+		uOpt = append(uOpt, v[2])
 	}
 	table := &plot.Table{
 		Title:  "Extension X7: mixed catalog (step + waiting-cost items)",
@@ -169,20 +191,19 @@ func AdaptiveImpatience(sc Scenario, nu float64) (*plot.Table, error) {
 	truth := utility.Exponential{Nu: nu}
 	pop := sc.Pop()
 	gen := sc.HomogeneousTraces()
-	var uAdaptive, uOracle, uOpt, nuHats []float64
-	for trial := 0; trial < sc.Trials; trial++ {
-		tr, err := gen(sc.Seed + uint64(trial)*997)
+	outs, err := parallel.RunTrials(sc.Trials, sc.Workers, sc.Seed, func(trial int, seed uint64) ([4]float64, error) {
+		tr, err := gen(seed)
 		if err != nil {
-			return nil, err
+			return [4]float64{}, err
 		}
 		rates := trace.EmpiricalRates(tr)
 		resO, err := sc.RunScheme(SchemeOPT, truth, tr, rates, sc.Mu, uint64(trial), false)
 		if err != nil {
-			return nil, err
+			return [4]float64{}, err
 		}
 		resQ, err := sc.RunScheme(SchemeQCR, truth, tr, rates, sc.Mu, uint64(trial), false)
 		if err != nil {
-			return nil, err
+			return [4]float64{}, err
 		}
 		feedbackRNG := rand.New(rand.NewPCG(sc.Seed^0xfeedbac, uint64(trial)))
 		pol := &adaptive.Policy{
@@ -200,16 +221,23 @@ func AdaptiveImpatience(sc Scenario, nu float64) (*plot.Table, error) {
 			Seed: sc.Seed*1_000_003 + uint64(trial)*101, WarmupFrac: sc.WarmupFrac,
 		})
 		if err != nil {
-			return nil, err
+			return [4]float64{}, err
 		}
-		uAdaptive = append(uAdaptive, resA.AvgUtilityRate)
-		uOracle = append(uOracle, resQ.AvgUtilityRate)
-		uOpt = append(uOpt, resO.AvgUtilityRate)
+		nuHat := math.NaN()
 		if hat, ok := pol.LastEstimate(); ok {
-			nuHats = append(nuHats, hat)
-		} else {
-			nuHats = append(nuHats, math.NaN())
+			nuHat = hat
 		}
+		return [4]float64{resA.AvgUtilityRate, resQ.AvgUtilityRate, resO.AvgUtilityRate, nuHat}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var uAdaptive, uOracle, uOpt, nuHats []float64
+	for _, v := range outs {
+		uAdaptive = append(uAdaptive, v[0])
+		uOracle = append(uOracle, v[1])
+		uOpt = append(uOpt, v[2])
+		nuHats = append(nuHats, v[3])
 	}
 	table := &plot.Table{
 		Title:  fmt.Sprintf("Extension X9: adaptive impatience estimation (true ν=%g)", nu),
@@ -249,11 +277,10 @@ func DedicatedKiosks(sc Scenario, servers int) (*plot.Table, error) {
 		return nil, err
 	}
 	gen := sc.HomogeneousTraces()
-	var uQCR, uOpt []float64
-	for trial := 0; trial < sc.Trials; trial++ {
-		tr, err := gen(sc.Seed + uint64(trial)*997)
+	outs, err := parallel.RunTrials(sc.Trials, sc.Workers, sc.Seed, func(trial int, seed uint64) ([2]float64, error) {
+		tr, err := gen(seed)
 		if err != nil {
-			return nil, err
+			return [2]float64{}, err
 		}
 		base := sim.Config{
 			Rho: sc.Rho, Utility: u, Pop: pop, Trace: tr,
@@ -270,7 +297,7 @@ func DedicatedKiosks(sc Scenario, servers int) (*plot.Table, error) {
 		}
 		resQ, err := sim.Run(cfgQ)
 		if err != nil {
-			return nil, err
+			return [2]float64{}, err
 		}
 		cfgO := base
 		cfgO.Policy = core.Static{Label: "opt"}
@@ -278,10 +305,17 @@ func DedicatedKiosks(sc Scenario, servers int) (*plot.Table, error) {
 		cfgO.NoSticky = true
 		resO, err := sim.Run(cfgO)
 		if err != nil {
-			return nil, err
+			return [2]float64{}, err
 		}
-		uQCR = append(uQCR, resQ.AvgUtilityRate)
-		uOpt = append(uOpt, resO.AvgUtilityRate)
+		return [2]float64{resQ.AvgUtilityRate, resO.AvgUtilityRate}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var uQCR, uOpt []float64
+	for _, v := range outs {
+		uQCR = append(uQCR, v[0])
+		uOpt = append(uOpt, v[1])
 	}
 	table := &plot.Table{
 		Title:  fmt.Sprintf("Extension X8: dedicated kiosks (neglog, %d servers / %d clients)", servers, sc.Nodes-servers),

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"impatience/internal/alloc"
+	"impatience/internal/parallel"
 	"impatience/internal/plot"
 	"impatience/internal/stats"
 	"impatience/internal/synth"
@@ -41,47 +42,57 @@ func Figure3(sc Scenario) ([]*plot.Table, error) {
 		mandates [][]float64
 		top5     [][][]float64 // [itemRank][trial][bin]
 	}
+	type trialSeries struct {
+		times, exp, obs, man []float64
+		tops                 [5][]float64
+	}
 	collect := func(scheme string) (*seriesSet, []float64, error) {
-		set := &seriesSet{top5: make([][][]float64, 5)}
-		var times []float64
-		for trial := 0; trial < sc.Trials; trial++ {
-			tr, err := gen(sc.Seed + uint64(trial)*997)
+		outs, err := parallel.RunTrials(sc.Trials, sc.Workers, sc.Seed, func(trial int, seed uint64) (*trialSeries, error) {
+			tr, err := gen(seed)
 			if err != nil {
-				return nil, nil, err
+				return nil, err
 			}
 			rates := trace.EmpiricalRates(tr)
 			res, err := sc.RunScheme(scheme, f, tr, rates, sc.Mu, uint64(trial), true)
 			if err != nil {
-				return nil, nil, err
+				return nil, err
 			}
-			if times == nil {
-				times = make([]float64, len(res.Bins))
-				for i, b := range res.Bins {
-					times[i] = b.T0
-				}
+			ts := &trialSeries{
+				times: make([]float64, len(res.Bins)),
+				exp:   make([]float64, len(res.Bins)),
+				obs:   make([]float64, len(res.Bins)),
+				man:   make([]float64, len(res.Bins)),
 			}
-			exp := make([]float64, len(res.Bins))
-			obs := make([]float64, len(res.Bins))
-			man := make([]float64, len(res.Bins))
-			tops := make([][]float64, 5)
-			for r := range tops {
-				tops[r] = make([]float64, len(res.Bins))
+			for r := range ts.tops {
+				ts.tops[r] = make([]float64, len(res.Bins))
 			}
 			for i, b := range res.Bins {
+				ts.times[i] = b.T0
 				if b.Counts != nil {
-					exp[i] = h.WelfareCounts(b.Counts)
+					ts.exp[i] = h.WelfareCounts(b.Counts)
 					for r := 0; r < 5 && r < len(b.Counts); r++ {
-						tops[r][i] = float64(b.Counts[r])
+						ts.tops[r][i] = float64(b.Counts[r])
 					}
 				}
-				obs[i] = b.Gain / (b.T1 - b.T0)
-				man[i] = float64(b.Mandates)
+				ts.obs[i] = b.Gain / (b.T1 - b.T0)
+				ts.man[i] = float64(b.Mandates)
 			}
-			set.expected = append(set.expected, exp)
-			set.observed = append(set.observed, obs)
-			set.mandates = append(set.mandates, man)
+			return ts, nil
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		set := &seriesSet{top5: make([][][]float64, 5)}
+		var times []float64
+		for _, ts := range outs {
+			if times == nil {
+				times = ts.times
+			}
+			set.expected = append(set.expected, ts.exp)
+			set.observed = append(set.observed, ts.obs)
+			set.mandates = append(set.mandates, ts.man)
 			for r := 0; r < 5; r++ {
-				set.top5[r] = append(set.top5[r], tops[r])
+				set.top5[r] = append(set.top5[r], ts.tops[r])
 			}
 		}
 		return set, times, nil
@@ -215,28 +226,38 @@ func Figure5TimeSeries(sc Scenario, conf synth.ConferenceConfig, tau float64) (*
 	}
 	var times []float64
 	for _, scheme := range schemes {
-		var trials [][]float64
-		for trial := 0; trial < sc.Trials; trial++ {
-			tr, err := gen(sc.Seed + uint64(trial)*997)
+		scheme := scheme
+		type trialOut struct{ times, obs []float64 }
+		outs, err := parallel.RunTrials(sc.Trials, sc.Workers, sc.Seed, func(trial int, seed uint64) (trialOut, error) {
+			tr, err := gen(seed)
 			if err != nil {
-				return nil, err
+				return trialOut{}, err
 			}
 			rates := trace.EmpiricalRates(tr)
 			res, err := sc.RunScheme(scheme, f, tr, rates, rates.Mean(), uint64(trial), true)
 			if err != nil {
-				return nil, err
+				return trialOut{}, err
 			}
-			obs := make([]float64, len(res.Bins))
-			ts := make([]float64, len(res.Bins))
+			out := trialOut{
+				times: make([]float64, len(res.Bins)),
+				obs:   make([]float64, len(res.Bins)),
+			}
 			for i, b := range res.Bins {
-				obs[i] = b.Gain / (b.T1 - b.T0)
-				ts[i] = b.T0
+				out.obs[i] = b.Gain / (b.T1 - b.T0)
+				out.times[i] = b.T0
 			}
+			return out, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var trials [][]float64
+		for _, out := range outs {
 			if times == nil {
-				times = ts
+				times = out.times
 				table.X = times
 			}
-			trials = append(trials, obs)
+			trials = append(trials, out.obs)
 		}
 		s, err := stats.MergeTrials(times, trials)
 		if err != nil {

@@ -1,0 +1,38 @@
+package experiment
+
+import "testing"
+
+// Scaled used to truncate the trial count toward zero, so quick runs of
+// scenarios with different Trials shrank asymmetrically: 15 trials at
+// 0.2 became 3, but 14 became 2 — a 33% difference in statistical
+// weight from a 7% difference in input. The rounding is half-up now;
+// these cases pin it.
+func TestScaledRoundsTrialsHalfUp(t *testing.T) {
+	cases := []struct {
+		trials int
+		frac   float64
+		want   int
+	}{
+		{15, 0.2, 3},
+		{14, 0.2, 3},  // 2.8 rounds up (was 2 under truncation)
+		{13, 0.2, 3},  // 2.6 rounds up
+		{12, 0.2, 2},  // 2.4 rounds down
+		{15, 0.1, 2},  // 1.5 rounds half up
+		{15, 0.5, 8},  // 7.5 rounds half up
+		{3, 0.1, 1},   // floor of 1 trial
+		{1, 0.01, 1},  // never zero trials
+		{15, 1.0, 15}, // identity
+	}
+	for _, tc := range cases {
+		sc := Default()
+		sc.Trials = tc.trials
+		got := sc.Scaled(tc.frac, 1).Trials
+		if got != tc.want {
+			t.Errorf("Scaled(%g) of %d trials = %d, want %d", tc.frac, tc.trials, got, tc.want)
+		}
+	}
+	sc := Default()
+	if d := sc.Scaled(1, 0.4).Duration; d != sc.Duration*0.4 {
+		t.Errorf("duration scaled to %g, want %g", d, sc.Duration*0.4)
+	}
+}

@@ -26,7 +26,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
-	"sort"
 )
 
 // Config parameterizes fault injection for one run. The zero value
@@ -56,6 +55,11 @@ type Config struct {
 	MassCrashFrac float64
 	MassDowntime  float64
 
+	// Script is a deterministic event timeline merged into the generated
+	// one — typically loaded with ParseTimeline from a scripted outage
+	// file. Events beyond the run's duration or node count are ignored.
+	Script []Event
+
 	// Seed drives the injector's private RNG stream. Two injectors built
 	// from identical configs produce identical fault sequences.
 	Seed uint64
@@ -67,7 +71,7 @@ func (c *Config) Enabled() bool {
 		return false
 	}
 	return c.ChurnRate > 0 || c.PLoss > 0 || c.PDrop > 0 ||
-		(c.MassCrashTime > 0 && c.MassCrashFrac > 0)
+		(c.MassCrashTime > 0 && c.MassCrashFrac > 0) || len(c.Script) > 0
 }
 
 // Validate checks the configuration's ranges.
@@ -89,6 +93,11 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("faults: mass-crash time %g", c.MassCrashTime)
 	case c.MassDowntime < 0 || math.IsNaN(c.MassDowntime):
 		return fmt.Errorf("faults: mass downtime %g", c.MassDowntime)
+	}
+	for k, ev := range c.Script {
+		if ev.T < 0 || math.IsNaN(ev.T) || math.IsInf(ev.T, 0) || ev.Node < 0 {
+			return fmt.Errorf("faults: script event %d: t=%g node=%d", k, ev.T, ev.Node)
+		}
 	}
 	return nil
 }
@@ -202,15 +211,12 @@ func (in *Injector) Timeline(nodes int, duration float64) []Event {
 			}
 		}
 	}
-	sort.SliceStable(evs, func(a, b int) bool {
-		if evs[a].T != evs[b].T {
-			return evs[a].T < evs[b].T
+	for _, ev := range in.cfg.Script {
+		if ev.Node < nodes && ev.T < duration {
+			evs = append(evs, ev)
 		}
-		if evs[a].Down != evs[b].Down {
-			return evs[a].Down // crashes before rejoins at the same instant
-		}
-		return evs[a].Node < evs[b].Node
-	})
+	}
+	sortEvents(evs)
 	return evs
 }
 

@@ -1,0 +1,98 @@
+package faults
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Scripted timelines let an experiment (or an operator replaying a real
+// outage) dictate exactly when which node goes down and comes back,
+// instead of drawing churn from the injector's random stream. The text
+// format is line-oriented, in the spirit of the trace format:
+//
+//	# comments and blank lines are ignored
+//	<t> <node> down
+//	<t> <node> up
+//
+// Events may appear in any order; ParseTimeline sorts them with the same
+// tie-breaking as Injector.Timeline (time, crashes before rejoins, node
+// id). Out-of-order or duplicate events are legal — the consumer treats
+// transitions idempotently (see Event).
+
+// ParseTimeline reads a scripted fault timeline in the text format.
+// Malformed input returns an error, never a panic, and never a partial
+// timeline.
+func ParseTimeline(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var evs []Event
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("faults: line %d: want \"<t> <node> down|up\", got %q", lineNo, line)
+		}
+		t, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil || math.IsNaN(t) || math.IsInf(t, 0) || t < 0 {
+			return nil, fmt.Errorf("faults: line %d: bad time %q", lineNo, fields[0])
+		}
+		node, err := strconv.Atoi(fields[1])
+		if err != nil || node < 0 {
+			return nil, fmt.Errorf("faults: line %d: bad node %q", lineNo, fields[1])
+		}
+		var down bool
+		switch fields[2] {
+		case "down":
+			down = true
+		case "up":
+			down = false
+		default:
+			return nil, fmt.Errorf("faults: line %d: bad state %q (want down or up)", lineNo, fields[2])
+		}
+		evs = append(evs, Event{T: t, Node: node, Down: down})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sortEvents(evs)
+	return evs, nil
+}
+
+// WriteTimeline serializes a timeline in the text format ParseTimeline
+// reads.
+func WriteTimeline(w io.Writer, evs []Event) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# impatience fault timeline\n")
+	for _, ev := range evs {
+		state := "up"
+		if ev.Down {
+			state = "down"
+		}
+		fmt.Fprintf(bw, "%g %d %s\n", ev.T, ev.Node, state)
+	}
+	return bw.Flush()
+}
+
+// sortEvents orders a timeline by time, crashes before rejoins at the
+// same instant, then node id — the ordering Injector.Timeline guarantees.
+func sortEvents(evs []Event) {
+	sort.SliceStable(evs, func(a, b int) bool {
+		if evs[a].T != evs[b].T {
+			return evs[a].T < evs[b].T
+		}
+		if evs[a].Down != evs[b].Down {
+			return evs[a].Down
+		}
+		return evs[a].Node < evs[b].Node
+	})
+}

@@ -1,0 +1,153 @@
+package faults
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseTimeline(t *testing.T) {
+	in := `# scripted outage
+30 2 down
+10 0 down
+10 0 up
+45.5 1 down
+10 1 up
+`
+	evs, err := ParseTimeline(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{
+		{T: 10, Node: 0, Down: true}, // crashes sort before rejoins at the same instant
+		{T: 10, Node: 0, Down: false},
+		{T: 10, Node: 1, Down: false},
+		{T: 30, Node: 2, Down: true},
+		{T: 45.5, Node: 1, Down: true},
+	}
+	if !reflect.DeepEqual(evs, want) {
+		t.Fatalf("got %+v, want %+v", evs, want)
+	}
+}
+
+func TestParseTimelineRejects(t *testing.T) {
+	for _, in := range []string{
+		"10 0\n",             // missing state
+		"10 0 down extra\n",  // trailing field
+		"x 0 down\n",         // bad time
+		"-1 0 down\n",        // negative time
+		"NaN 0 down\n",       // NaN time
+		"Inf 0 down\n",       // infinite time
+		"10 -2 down\n",       // negative node
+		"10 x down\n",        // bad node
+		"10 0 sideways\n",    // bad state
+		"10 0.5 down\n",      // fractional node
+		"good\n10 0 maybe\n", // error on a later line
+	} {
+		if evs, err := ParseTimeline(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted: %+v", in, evs)
+		}
+	}
+}
+
+func TestTimelineRoundTrip(t *testing.T) {
+	evs := []Event{
+		{T: 0, Node: 3, Down: true},
+		{T: 12.25, Node: 0, Down: false},
+		{T: 100, Node: 7, Down: true},
+	}
+	var buf bytes.Buffer
+	if err := WriteTimeline(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseTimeline(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("round trip rejected:\n%s\nerror: %v", buf.String(), err)
+	}
+	if !reflect.DeepEqual(back, evs) {
+		t.Fatalf("round trip changed the timeline:\nin:  %+v\nout: %+v", evs, back)
+	}
+}
+
+// TestScriptedTimelineInjection verifies scripted events are merged into
+// the injector's timeline, filtered to the run's node count and duration,
+// and ordered like generated churn.
+func TestScriptedTimelineInjection(t *testing.T) {
+	cfg := Config{Script: []Event{
+		{T: 50, Node: 1, Down: true},
+		{T: 80, Node: 1, Down: false},
+		{T: 20, Node: 9, Down: true},  // beyond node count: dropped
+		{T: 500, Node: 0, Down: true}, // beyond duration: dropped
+	}}
+	if !cfg.Enabled() {
+		t.Fatal("script alone should enable fault injection")
+	}
+	in, err := New(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in == nil {
+		t.Fatal("injector disabled despite script")
+	}
+	got := in.Timeline(5, 400)
+	want := []Event{
+		{T: 50, Node: 1, Down: true},
+		{T: 80, Node: 1, Down: false},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("timeline %+v, want %+v", got, want)
+	}
+}
+
+func TestScriptValidation(t *testing.T) {
+	for _, ev := range []Event{
+		{T: -1, Node: 0},
+		{T: math.NaN(), Node: 0},
+		{T: math.Inf(1), Node: 0},
+		{T: 1, Node: -1},
+	} {
+		cfg := Config{Script: []Event{ev}}
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("script event %+v passed validation", ev)
+		}
+	}
+}
+
+// FuzzParseTimeline holds the parser to the same contract as the trace
+// reader: arbitrary input yields a sorted timeline or an error — no
+// panics, no partial results — and accepted timelines survive a
+// WriteTimeline/ParseTimeline round trip.
+func FuzzParseTimeline(f *testing.F) {
+	f.Add("# t node state\n10 0 down\n20 0 up\n")
+	f.Add("")
+	f.Add("10 0 down\n10 0 up\n10 1 down\n")
+	f.Add("1e9 100000 down\n")
+	f.Add("nan 0 down\n")
+	f.Add("10 0 banana\n")
+	f.Add("10\n")
+	f.Add("-5 1 up\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		evs, err := ParseTimeline(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		for i, ev := range evs {
+			if ev.T < 0 || math.IsNaN(ev.T) || math.IsInf(ev.T, 0) || ev.Node < 0 {
+				t.Fatalf("accepted invalid event %d: %+v", i, ev)
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteTimeline(&buf, evs); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ParseTimeline(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("round trip rejected:\n%s\nerror: %v", buf.String(), err)
+		}
+		if !reflect.DeepEqual(back, evs) {
+			t.Fatalf("round trip changed the timeline:\nin:  %+v\nout: %+v", evs, back)
+		}
+	})
+}

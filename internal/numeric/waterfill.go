@@ -51,22 +51,33 @@ func WaterFill(p WaterFillProblem) ([]float64, error) {
 	if n == 0 || len(p.Caps) != n || p.Budget < 0 || (p.Deriv == nil && p.DerivFor == nil) {
 		return nil, ErrInfeasible
 	}
-	var capSum float64
+	// Feasibility is measured against the capacity actually reachable:
+	// zero-weight coordinates never receive anything (their caps are not
+	// usable capacity), so a budget exceeding the positive-weight cap sum
+	// has no solution respecting both the box constraints and Σ x = Budget.
+	var capSum, effCap float64
 	for i, c := range p.Caps {
 		if c < 0 || p.Weights[i] < 0 {
 			return nil, ErrInfeasible
 		}
 		capSum += c
+		if p.Weights[i] > 0 {
+			effCap += c
+		}
 	}
-	if p.Budget > capSum*(1+1e-9) {
+	if p.Budget > effCap*(1+1e-9) {
 		return nil, ErrInfeasible
 	}
 	x := make([]float64, n)
 	if p.Budget == 0 {
 		return x, nil
 	}
-	if p.Budget >= capSum {
-		copy(x, p.Caps)
+	if p.Budget >= effCap {
+		for i := range x {
+			if p.Weights[i] > 0 {
+				x[i] = p.Caps[i]
+			}
+		}
 		return x, nil
 	}
 

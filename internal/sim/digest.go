@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+)
+
+// Digest returns a stable 64-bit FNV-1a hash over every field of the
+// Result, including time series and fault tallies. Two runs with the
+// same configuration and seed produce the same digest; any behavioral
+// drift — an extra fulfillment, a float summed in a different order, a
+// reordered bin — changes it. The golden determinism tests in
+// internal/experiment use digests to pin the worker-count invariance of
+// the parallel trial engine, and to certify that hot-path optimizations
+// in this package are behavior-identical.
+func (r *Result) Digest() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	wf := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	wi := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
+		h.Write(buf[:])
+	}
+	wf(r.Duration)
+	wf(r.MeasureStart)
+	wf(r.TotalGain)
+	wf(r.AvgUtilityRate)
+	wi(r.Fulfillments)
+	wi(r.Immediate)
+	wi(r.Meetings)
+	wi(r.ReplicasMade)
+	wi(r.Outstanding)
+	wf(r.OutstandingCost)
+	wi(len(r.FinalCounts))
+	for _, c := range r.FinalCounts {
+		wi(c)
+	}
+	wi(len(r.Bins))
+	for _, b := range r.Bins {
+		wf(b.T0)
+		wf(b.T1)
+		wf(b.Gain)
+		wi(b.Fulfillments)
+		wi(b.Mandates)
+		wi(len(b.Counts))
+		for _, c := range b.Counts {
+			wi(c)
+		}
+	}
+	wi(r.Overhead.MetadataMsgs)
+	wi(r.Overhead.ContentTransfers)
+	wi(r.Overhead.MandateTransfers)
+	if t := r.Faults; t != nil {
+		wi(t.Crashes)
+		wi(t.Rejoins)
+		wi(t.TruncatedMeetings)
+		wi(t.SkippedContacts)
+		wi(t.DroppedArrivals)
+		wi(t.ReplicasLost)
+		wi(t.StickyLost)
+		wi(t.RequestsLost)
+		wi(t.MandatesCrashed)
+		wi(t.MandatesDropped)
+		wi(t.MandatesExpired)
+		wi(t.MandatesAbandoned)
+		wi(t.StickyReseeded)
+	}
+	return h.Sum64()
+}

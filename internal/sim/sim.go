@@ -23,6 +23,7 @@ package sim
 import (
 	"fmt"
 	"math/rand/v2"
+	"slices"
 	"sort"
 
 	"impatience/internal/alloc"
@@ -159,12 +160,20 @@ type state struct {
 	slots   [][]int32 // per node: item id per slot, -1 when empty
 	stickyS [][]bool  // per node: slot pinned?
 	has     []bool    // node*items + item
+	used    []int     // per node: occupied slots (occupancy counter)
 	counts  []int     // replicas per item
 	stickyN []int     // per item: node holding the pinned replica, -1
 	writes  int
 
-	// outstanding requests: per node, item → open requests.
-	reqs []map[int][]request
+	// Outstanding requests, laid out for the meeting hot path: the open
+	// requests for (node, item) live at reqs[node*items+item], and
+	// reqItems[node] is the sorted list of items with at least one open
+	// request there. The list is maintained incrementally on arrival,
+	// fulfillment and crash, so a meeting iterates it directly instead of
+	// rebuilding (and sorting) a key set from a map — the profiler's
+	// dominant cost before this layout.
+	reqs     [][]request
+	reqItems [][]int32
 
 	// Fault-injection state; inj is nil when the layer is off, and every
 	// fault code path below is gated on it.
@@ -219,6 +228,8 @@ func (s *state) Write(node, item int) bool {
 	if old := s.slots[node][chosen]; old >= 0 {
 		s.has[node*s.items+int(old)] = false
 		s.counts[old]--
+	} else {
+		s.used[node]++
 	}
 	s.slots[node][chosen] = int32(item)
 	s.has[node*s.items+item] = true
@@ -237,6 +248,7 @@ func (s *state) place(node, item int, sticky bool) error {
 			s.slots[node][k] = int32(item)
 			s.stickyS[node][k] = sticky
 			s.has[node*s.items+item] = true
+			s.used[node]++
 			s.counts[item]++
 			if sticky {
 				s.stickyN[item] = node
@@ -255,15 +267,33 @@ func (s *state) utilityFor(i int) utility.Function {
 	return s.cfg.Utility
 }
 
-// freeSlots counts empty slots at a node.
+// freeSlots counts empty slots at a node, from the occupancy counter
+// maintained by place/Write/crash (O(1), no slot-row walk).
 func (s *state) freeSlots(node int) int {
-	n := 0
-	for _, it := range s.slots[node] {
-		if it < 0 {
-			n++
-		}
+	return len(s.slots[node]) - s.used[node]
+}
+
+// addRequest registers one open request for (node, item), keeping the
+// node's sorted outstanding-item list in step.
+func (s *state) addRequest(node, item int, t float64) {
+	idx := node*s.items + item
+	if len(s.reqs[idx]) == 0 {
+		s.reqItems[node] = insertSorted(s.reqItems[node], int32(item))
 	}
-	return n
+	s.reqs[idx] = append(s.reqs[idx], request{t0: t})
+}
+
+// insertSorted inserts v into an ascending list, keeping it sorted.
+// No-op if already present (callers guard, but stay safe).
+func insertSorted(list []int32, v int32) []int32 {
+	i, found := slices.BinarySearch(list, v)
+	if found {
+		return list
+	}
+	list = append(list, 0)
+	copy(list[i+1:], list[i:])
+	list[i] = v
+	return list
 }
 
 // reseed re-pins item's sticky replica at a node currently holding it —
@@ -303,30 +333,27 @@ func (s *state) crash(n int, t float64, res *Result) {
 		}
 		s.slots[n][k] = -1
 	}
-	if len(s.reqs[n]) > 0 {
-		// Sorted item order: map iteration would make the float summation
-		// order — and hence the Result — irreproducible.
-		items := make([]int, 0, len(s.reqs[n]))
-		for item := range s.reqs[n] {
-			items = append(items, item)
-		}
-		sort.Ints(items)
-		for _, item := range items {
-			f := s.utilityFor(item)
-			for _, rq := range s.reqs[n][item] {
-				s.tally.RequestsLost++
-				age := t - rq.t0
-				if age <= 0 {
-					age = 1e-9
-				}
-				if h := f.H(age); h < 0 && rq.t0 >= res.MeasureStart {
-					res.TotalGain += h
-					res.OutstandingCost += h
-				}
+	s.used[n] = 0
+	// Sorted item order (the outstanding-item list is kept sorted): the
+	// float summation order — and hence the Result — stays reproducible.
+	for _, it := range s.reqItems[n] {
+		item := int(it)
+		idx := n*s.items + item
+		f := s.utilityFor(item)
+		for _, rq := range s.reqs[idx] {
+			s.tally.RequestsLost++
+			age := t - rq.t0
+			if age <= 0 {
+				age = 1e-9
+			}
+			if h := f.H(age); h < 0 && rq.t0 >= res.MeasureStart {
+				res.TotalGain += h
+				res.OutstandingCost += h
 			}
 		}
-		s.reqs[n] = make(map[int][]request)
+		s.reqs[idx] = s.reqs[idx][:0]
 	}
+	s.reqItems[n] = s.reqItems[n][:0]
 	if ca, ok := s.cfg.Policy.(core.CrashAware); ok {
 		s.tally.MandatesCrashed += ca.OnCrash(n)
 	}
@@ -358,18 +385,20 @@ func Run(cfg Config) (*Result, error) {
 		servers = cfg.ServerCount
 	}
 	s := &state{
-		cfg:     &cfg,
-		items:   items,
-		nodes:   nodes,
-		servers: servers,
-		rho:     cfg.Rho,
-		rng:     rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x5eed0fca11)),
-		slots:   make([][]int32, nodes),
-		stickyS: make([][]bool, nodes),
-		has:     make([]bool, nodes*items),
-		counts:  make([]int, items),
-		stickyN: make([]int, items),
-		reqs:    make([]map[int][]request, nodes),
+		cfg:      &cfg,
+		items:    items,
+		nodes:    nodes,
+		servers:  servers,
+		rho:      cfg.Rho,
+		rng:      rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x5eed0fca11)),
+		slots:    make([][]int32, nodes),
+		stickyS:  make([][]bool, nodes),
+		has:      make([]bool, nodes*items),
+		used:     make([]int, nodes),
+		counts:   make([]int, items),
+		stickyN:  make([]int, items),
+		reqs:     make([][]request, nodes*items),
+		reqItems: make([][]int32, nodes),
 	}
 	for n := 0; n < nodes; n++ {
 		slots := cfg.Rho
@@ -381,7 +410,6 @@ func Run(cfg Config) (*Result, error) {
 			s.slots[n][k] = -1
 		}
 		s.stickyS[n] = make([]bool, slots)
-		s.reqs[n] = make(map[int][]request)
 	}
 	for i := range s.stickyN {
 		s.stickyN[i] = -1
@@ -501,32 +529,30 @@ func Run(cfg Config) (*Result, error) {
 			cfg.Policy.OnFulfill(s, r.Node, r.Node, r.Item, 0, 0, r.T)
 			return
 		}
-		s.reqs[r.Node][r.Item] = append(s.reqs[r.Node][r.Item], request{t0: r.T})
+		s.addRequest(r.Node, r.Item, r.T)
 	}
 
 	// fulfillSide advances node n's requests given it met peer: every
 	// outstanding request queries the peer (counter++); requests for items
-	// the peer holds are all fulfilled.
+	// the peer holds are all fulfilled. The node's outstanding-item list
+	// is already sorted (kept so incrementally), so this iterates it in
+	// place — in the same deterministic item order as before — without
+	// the per-meeting key collection and sort the profiler flagged.
 	fulfillSide := func(n, peer int, t float64) {
-		m := s.reqs[n]
-		if len(m) == 0 {
+		list := s.reqItems[n]
+		if len(list) == 0 {
 			return
 		}
-		// Iterate in sorted item order: map order is randomized in Go and
-		// would leak nondeterminism into the policy's RNG stream.
-		items := make([]int, 0, len(m))
-		for item := range m {
-			items = append(items, item)
-		}
-		sort.Ints(items)
-		for _, item := range items {
-			list := m[item]
+		base := n * s.items
+		for r := 0; r < len(list); {
+			item := int(list[r])
+			pending := s.reqs[base+item]
 			// A truncated meeting completes the metadata exchange (the
 			// query counters advance) but loses the item payload: the
 			// request stays open and retries at the next meeting with a
 			// holder.
 			if s.Has(peer, item) && !s.truncated {
-				for _, rq := range list {
+				for _, rq := range pending {
 					q := rq.queries + 1
 					age := t - rq.t0
 					record(t, s.utilityFor(item).H(age), false)
@@ -535,13 +561,17 @@ func Run(cfg Config) (*Result, error) {
 				if s.inj != nil && !s.cfg.NoSticky && s.stickyN[item] < 0 {
 					s.reseed(peer, item)
 				}
-				delete(m, item)
+				s.reqs[base+item] = pending[:0]
+				copy(list[r:], list[r+1:])
+				list = list[:len(list)-1]
 			} else {
-				for k := range list {
-					list[k].queries++
+				for k := range pending {
+					pending[k].queries++
 				}
+				r++
 			}
 		}
+		s.reqItems[n] = list
 	}
 
 	switched := cfg.DemandSwitch == nil
@@ -620,10 +650,13 @@ func Run(cfg Config) (*Result, error) {
 	// free. Reward-type utilities (h ≥ 0) are unaffected — their gain is
 	// only earned on actual fulfillment.
 	end := cfg.Trace.Duration
-	for n, m := range s.reqs {
-		for item, list := range m {
+	for n := 0; n < s.nodes; n++ {
+		// Node then sorted item order: the float summation order is fixed,
+		// so the Result digest is reproducible run to run.
+		for _, it := range s.reqItems[n] {
+			item := int(it)
 			f := s.utilityFor(item)
-			for _, rq := range list {
+			for _, rq := range s.reqs[n*s.items+item] {
 				res.Outstanding++
 				age := end - rq.t0
 				if age <= 0 {
@@ -635,7 +668,6 @@ func Run(cfg Config) (*Result, error) {
 				}
 			}
 		}
-		_ = n
 	}
 	span := cfg.Trace.Duration - res.MeasureStart
 	if span > 0 {

@@ -1,0 +1,52 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzRead drives the trace parser with arbitrary byte streams. The
+// contract under fuzzing is narrow but absolute: Read returns either a
+// validated trace or an error — it never panics, whatever the input, and
+// any trace it does accept survives a Write/Read round trip unchanged
+// (Read normalizes, so a re-read of a written trace is a fixed point).
+func FuzzRead(f *testing.F) {
+	f.Add("# impatience contact trace\nnodes 3\nduration 10\n1 0 1\n2.5 1 2\n")
+	f.Add("nodes 2\nduration 5\n")
+	f.Add("nodes 2\nduration 5\n1 0 1\n1 0 1\n4.2 1 0\n") // duplicates, unordered pair
+	f.Add("")
+	f.Add("nodes x\n")
+	f.Add("duration NaN\n1 0 1\n")
+	f.Add("nodes 2\nduration 5\n1 0 5\n")  // node out of range
+	f.Add("nodes 2\nduration 5\n-1 0 1\n") // negative time
+	f.Add("nodes 2\nduration 5\n9 0 1\n")  // contact after duration
+	f.Add("nodes -3\nduration 5\n")
+	f.Add("garbage line\n")
+	f.Add("1 2\n")
+	f.Add("nodes 2 2\n")
+	f.Add(strings.Repeat("nodes 1\n", 3))
+	f.Add("nodes 1000000000000000000000\n")
+	f.Add("nodes 2\nduration 1e308\n1e307 0 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("Read accepted an invalid trace: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			t.Fatalf("Write failed on accepted trace: %v", err)
+		}
+		back, err := Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("round trip rejected:\n%s\nerror: %v", buf.String(), err)
+		}
+		if tr.Nodes != back.Nodes || tr.Duration != back.Duration || !reflect.DeepEqual(tr.Contacts, back.Contacts) {
+			t.Fatalf("round trip changed the trace:\nin:  %+v\nout: %+v", tr, back)
+		}
+	})
+}

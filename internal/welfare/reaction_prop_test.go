@@ -1,0 +1,217 @@
+package welfare
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"impatience/internal/demand"
+	"impatience/internal/utility"
+)
+
+// Property-based coverage for the reaction machinery and the relaxed
+// optimum it is tuned against, over 500 random (utility, µ, |S|, ρ, ω)
+// configurations:
+//
+//  1. ϕ is positive and strictly decreasing, so y·ψ(y) = |S|·ϕ(|S|/y)
+//     must be nondecreasing in the query counter y for every family
+//     (and ψ itself nondecreasing for power utilities, where it has the
+//     closed form ψ ∝ y^{1−α});
+//  2. RelaxedOptimal conserves the budget (Σ x̃_i = ρ·|S|) and satisfies
+//     Property 1: d_i·ϕ(x̃_i) is constant across interior coordinates;
+//  3. MeanBurst is finite and positive on (0, |S|], degenerates to ψ(1)
+//     at full replication, and ReactionScale normalizes the
+//     demand-weighted mean burst at the optimum to exactly kappa.
+
+const reactionCases = 500
+
+type propConfig struct {
+	f       utility.Function
+	mu      float64
+	servers int
+	rho     int
+	omega   float64
+}
+
+func randomConfig(rng *rand.Rand) propConfig {
+	var f utility.Function
+	switch rng.IntN(3) {
+	case 0:
+		f = utility.Step{Tau: 1 + 99*rng.Float64()}
+	case 1:
+		f = utility.Exponential{Nu: 0.01 + 0.99*rng.Float64()}
+	default:
+		f = utility.Power{Alpha: -2 + 2.9*rng.Float64()} // α ∈ [-2, 0.9)
+	}
+	return propConfig{
+		f:       f,
+		mu:      0.01 + 0.19*rng.Float64(),
+		servers: 10 + rng.IntN(70),
+		rho:     2 + rng.IntN(6),
+		omega:   0.5 + rng.Float64(),
+	}
+}
+
+func (c propConfig) homogeneous(items int) Homogeneous {
+	return Homogeneous{
+		Utility: c.f,
+		Pop:     demand.Pareto(items, c.omega, 2),
+		Mu:      c.mu,
+		Servers: c.servers,
+		Clients: c.servers,
+	}
+}
+
+func TestPsiTransformMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(0x91, 0x517))
+	for c := 0; c < reactionCases; c++ {
+		cfg := randomConfig(rng)
+		S := float64(cfg.servers)
+		prev := math.Inf(-1)
+		prevPsi := math.Inf(-1)
+		_, isPower := cfg.f.(utility.Power)
+		for y := 1.0; y <= 50; y++ {
+			psi := utility.Psi(cfg.f, cfg.mu, S, y)
+			if psi < 0 || math.IsNaN(psi) || math.IsInf(psi, 0) {
+				t.Fatalf("case %d (%s): ψ(%g)=%g", c, cfg.f.Name(), y, psi)
+			}
+			// y·ψ(y) = |S|·ϕ(|S|/y); ϕ decreasing ⇒ nondecreasing in y.
+			if v := y * psi; v < prev*(1-1e-9) {
+				t.Fatalf("case %d (%s): y·ψ(y) decreased at y=%g: %g < %g", c, cfg.f.Name(), y, v, prev)
+			} else {
+				prev = v
+			}
+			if isPower && psi < prevPsi*(1-1e-9) {
+				t.Fatalf("case %d (%s): ψ decreased at y=%g: %g < %g", c, cfg.f.Name(), y, psi, prevPsi)
+			}
+			prevPsi = psi
+		}
+	}
+}
+
+func TestRelaxedOptimalBalanceProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(0xba1a, 0x2ce))
+	for c := 0; c < reactionCases; c++ {
+		cfg := randomConfig(rng)
+		items := cfg.rho + 3 + rng.IntN(50) // keep ρ·|S| under the Σ caps = items·|S| ceiling
+		h := cfg.homogeneous(items)
+		x, err := h.RelaxedOptimal(cfg.rho)
+		if err != nil {
+			t.Fatalf("case %d (%s): %v", c, cfg.f.Name(), err)
+		}
+		budget := float64(cfg.rho * cfg.servers)
+		var sum float64
+		for i, v := range x {
+			if v < -1e-9 || v > float64(cfg.servers)*(1+1e-9) {
+				t.Fatalf("case %d: x[%d]=%g outside [0, %d]", c, i, v, cfg.servers)
+			}
+			sum += v
+		}
+		if math.Abs(sum-budget) > 1e-6*math.Max(1, budget) {
+			t.Fatalf("case %d (%s): Σx̃=%g, budget %g", c, cfg.f.Name(), sum, budget)
+		}
+		// Property 1: d_i·ϕ(x̃_i) equal across interior coordinates. The
+		// comparison happens in allocation space: for steep ϕ (large µτ
+		// exponential decay) a sub-replica perturbation of x̃_i moves λ by
+		// orders of magnitude, so a multiplier-space tolerance would be
+		// meaningless. Each coordinate's λ deviation is converted to a
+		// replica-count error through the local slope dλ/dx = d_i·ϕ'(x̃_i).
+		type marginal struct {
+			i      int
+			lambda float64
+		}
+		var interior []marginal
+		margin := 1e-6 * float64(cfg.servers)
+		logSum := 0.0
+		for i, v := range x {
+			d := h.Pop.Rates[i]
+			if d <= 0 || v <= margin || v >= float64(cfg.servers)-margin {
+				continue
+			}
+			m := marginal{i, d * cfg.f.Phi(cfg.mu, v)}
+			interior = append(interior, m)
+			logSum += math.Log(m.lambda)
+		}
+		if len(interior) < 2 {
+			continue
+		}
+		lambdaRef := math.Exp(logSum / float64(len(interior)))
+		h2 := 1e-4 * float64(cfg.servers)
+		for _, m := range interior {
+			d := h.Pop.Rates[m.i]
+			slope := d * (cfg.f.Phi(cfg.mu, x[m.i]+h2) - cfg.f.Phi(cfg.mu, x[m.i]-h2)) / (2 * h2)
+			if slope == 0 || math.IsNaN(slope) {
+				continue
+			}
+			if xerr := math.Abs((m.lambda - lambdaRef) / slope); xerr > 1e-3*float64(cfg.servers) {
+				t.Fatalf("case %d (%s): balance violated at item %d: λ=%g vs ref %g (≈%g replicas off)",
+					c, cfg.f.Name(), m.i, m.lambda, lambdaRef, xerr)
+			}
+		}
+	}
+}
+
+func TestMeanBurstAndScaleProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(0xb1257, 0x5ca1e))
+	for c := 0; c < reactionCases; c++ {
+		cfg := randomConfig(rng)
+		S := float64(cfg.servers)
+
+		// Out-of-domain replica counts have no defined burst.
+		if !math.IsNaN(MeanBurst(cfg.f, cfg.mu, cfg.servers, 0)) ||
+			!math.IsNaN(MeanBurst(cfg.f, cfg.mu, cfg.servers, S+1)) {
+			t.Fatalf("case %d: MeanBurst accepted out-of-domain x", c)
+		}
+		// At full replication every counter reads 1.
+		if got, want := MeanBurst(cfg.f, cfg.mu, cfg.servers, S), utility.Psi(cfg.f, cfg.mu, S, 1); got != want {
+			t.Fatalf("case %d (%s): burst at x=|S| is %g, want ψ(1)=%g", c, cfg.f.Name(), got, want)
+		}
+		x := S * (0.05 + 0.9*rng.Float64())
+		b := MeanBurst(cfg.f, cfg.mu, cfg.servers, x)
+		if !(b > 0) || math.IsInf(b, 0) {
+			t.Fatalf("case %d (%s): burst(%g)=%g not finite positive", c, cfg.f.Name(), x, b)
+		}
+
+		if c >= 100 {
+			continue // the scale property below re-solves the optimum; 100 cases suffice
+		}
+		items := cfg.rho + 3 + rng.IntN(30)
+		h := cfg.homogeneous(items)
+		kappa := 0.05 + 0.4*rng.Float64()
+		s, err := h.ReactionScale(cfg.rho, kappa)
+		if err != nil {
+			t.Fatalf("case %d (%s): %v", c, cfg.f.Name(), err)
+		}
+		if !(s > 0) {
+			t.Fatalf("case %d: scale %g", c, s)
+		}
+		// The scale is the burst normalizer: scaled demand-weighted mean
+		// burst at the optimum equals kappa, and the scale is linear in it.
+		opt, err := h.RelaxedOptimal(cfg.rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var num, den float64
+		for i, d := range h.Pop.Rates {
+			if d <= 0 || opt[i] <= 0 {
+				continue
+			}
+			burst := MeanBurst(cfg.f, cfg.mu, cfg.servers, opt[i])
+			if math.IsNaN(burst) || math.IsInf(burst, 0) {
+				continue
+			}
+			num += d * burst
+			den += d
+		}
+		if got := s * num / den; math.Abs(got-kappa) > 1e-9*kappa {
+			t.Fatalf("case %d (%s): scaled mean burst %g, want kappa %g", c, cfg.f.Name(), got, kappa)
+		}
+		s2, err := h.ReactionScale(cfg.rho, 2*kappa)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(s2-2*s) > 1e-9*s {
+			t.Fatalf("case %d: scale not linear in kappa: %g vs 2·%g", c, s2, s)
+		}
+	}
+}
