@@ -1,0 +1,199 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"runtime"
+	"time"
+
+	"impatience/internal/contact"
+	"impatience/internal/experiment"
+	"impatience/internal/trace"
+	"impatience/internal/utility"
+)
+
+// contactLadder is the population sizes the contact pipeline is measured
+// at: the paper's evaluation scale, a mid-size population, and the
+// production-scale case the streaming pipeline exists for.
+var contactLadder = []int{100, 1000, 5000}
+
+// pathStats measures one generation path at one population size.
+type pathStats struct {
+	Contacts        int     `json:"contacts"`
+	NsPerContact    float64 `json:"ns_per_contact"`
+	ContactsPerSec  float64 `json:"contacts_per_sec"`
+	BytesPerContact float64 `json:"bytes_per_contact"`
+}
+
+// contactsEntry compares materialized generation (searchCDF sampling,
+// whole trace in memory) against the streaming generator (alias
+// sampling, contacts drawn one at a time) for the same workload.
+type contactsEntry struct {
+	Nodes    int     `json:"nodes"`
+	Mu       float64 `json:"mu"`
+	Duration float64 `json:"duration_min"`
+	// Materialized is contact.GenerateHomogeneous; Streaming drains
+	// contact.NewHomogeneousStream. Both include their setup (CDF and
+	// alias construction respectively), so the comparison is end to end.
+	Materialized pathStats `json:"materialized"`
+	Streaming    pathStats `json:"streaming"`
+	// Speedup is materialized ns/contact over streaming ns/contact;
+	// BytesRatio is materialized bytes/contact over streaming.
+	Speedup    float64 `json:"streaming_speedup"`
+	BytesRatio float64 `json:"bytes_ratio"`
+}
+
+// scaleSection is the headline demo: a fused N = 5000 run whose contact
+// list would dwarf the streaming pipeline's whole heap, plus the
+// projection to the paper's full evaluation duration, where the
+// materialized path stops being feasible at all.
+type scaleSection struct {
+	experiment.ScaleReport
+	WallSeconds    float64 `json:"wall_seconds"`
+	ContactsPerSec float64 `json:"contacts_per_sec"`
+	// Projected*: the same population at the paper's default µ = 0.05 and
+	// 5000-minute duration. The streaming pipeline's footprint does not
+	// grow with duration; the materialized contact list does.
+	ProjectedContacts          float64 `json:"projected_contacts_full_duration"`
+	ProjectedMaterializedBytes float64 `json:"projected_materialized_bytes"`
+}
+
+type contactsReport struct {
+	Benchmark string          `json:"benchmark"`
+	UnixTime  int64           `json:"unix_time"`
+	GoVersion string          `json:"go_version"`
+	Short     bool            `json:"short"`
+	Ladder    []contactsEntry `json:"ladder"`
+	Scale     *scaleSection   `json:"scale"`
+}
+
+// measureMaterialized times one full materialized generation.
+func measureMaterialized(nodes int, mu, duration float64, seed uint64) (pathStats, error) {
+	rng := rand.New(rand.NewPCG(seed, seed^0xabcdef))
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	tr, err := contact.GenerateHomogeneous(nodes, mu, duration, rng)
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	if err != nil {
+		return pathStats{}, err
+	}
+	return newPathStats(len(tr.Contacts), elapsed, m1.TotalAlloc-m0.TotalAlloc), nil
+}
+
+// measureStreaming times construction plus a full drain of the streaming
+// generator over the identical workload.
+func measureStreaming(nodes int, mu, duration float64, seed uint64) (pathStats, error) {
+	rng := rand.New(rand.NewPCG(seed, seed^0xabcdef))
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	src, err := contact.NewHomogeneousStream(nodes, mu, duration, rng)
+	if err != nil {
+		return pathStats{}, err
+	}
+	n := 0
+	for {
+		if _, ok := src.Next(); !ok {
+			break
+		}
+		n++
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	return newPathStats(n, elapsed, m1.TotalAlloc-m0.TotalAlloc), nil
+}
+
+func newPathStats(contacts int, elapsed time.Duration, allocated uint64) pathStats {
+	s := pathStats{Contacts: contacts}
+	if contacts > 0 {
+		s.NsPerContact = float64(elapsed.Nanoseconds()) / float64(contacts)
+		s.BytesPerContact = float64(allocated) / float64(contacts)
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		s.ContactsPerSec = float64(contacts) / sec
+	}
+	return s
+}
+
+// runContacts benchmarks the contact pipeline across the population
+// ladder, runs the fused scale demo, and writes BENCH_contacts.json.
+func runContacts(short bool, out string) error {
+	target := 2e6 // contacts per measurement
+	if short {
+		target = 5e5
+	}
+	report := contactsReport{
+		Benchmark: "ContactPipeline/MaterializedVsStreaming",
+		UnixTime:  time.Now().Unix(),
+		GoVersion: runtime.Version(),
+		Short:     short,
+	}
+	const mu = 0.05
+	for _, nodes := range contactLadder {
+		duration := target / (float64(trace.NumPairs(nodes)) * mu)
+		mat, err := measureMaterialized(nodes, mu, duration, 11)
+		if err != nil {
+			return err
+		}
+		str, err := measureStreaming(nodes, mu, duration, 11)
+		if err != nil {
+			return err
+		}
+		e := contactsEntry{
+			Nodes: nodes, Mu: mu, Duration: duration,
+			Materialized: mat, Streaming: str,
+		}
+		if str.NsPerContact > 0 {
+			e.Speedup = mat.NsPerContact / str.NsPerContact
+		}
+		if str.BytesPerContact > 0 {
+			e.BytesRatio = mat.BytesPerContact / str.BytesPerContact
+		}
+		report.Ladder = append(report.Ladder, e)
+		fmt.Printf("contacts N=%-5d  materialized %7.1f ns/contact %7.1f B/contact  streaming %7.1f ns/contact %7.1f B/contact  (%.1fx faster, %.1fx leaner)\n",
+			nodes, mat.NsPerContact, mat.BytesPerContact, str.NsPerContact, str.BytesPerContact, e.Speedup, e.BytesRatio)
+	}
+
+	// The fused scale demo: N = 5000 end to end through the simulator.
+	sc := experiment.ScaleScenario()
+	start := time.Now()
+	rep, err := sc.StreamingScale(utility.Step{Tau: 60}, 0)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start).Seconds()
+	full := experiment.Default()
+	scale := &scaleSection{
+		ScaleReport:       *rep,
+		WallSeconds:       wall,
+		ProjectedContacts: float64(trace.NumPairs(sc.Nodes)) * full.Mu * full.Duration,
+	}
+	if wall > 0 {
+		scale.ContactsPerSec = float64(rep.Contacts) / wall
+	}
+	scale.ProjectedMaterializedBytes = scale.ProjectedContacts * 24
+	report.Scale = scale
+	fmt.Printf("scale  N=%d: %d contacts fused in %.1fs, peak heap %.0f MB (materialized list alone: %.0f MB; full-duration projection: %.0f GB)\n",
+		rep.Nodes, rep.Contacts, wall, float64(rep.PeakHeapBytes)/1e6,
+		float64(rep.MaterializedBytes)/1e6, scale.ProjectedMaterializedBytes/1e9)
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}

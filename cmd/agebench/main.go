@@ -1,11 +1,19 @@
-// Command agebench measures the parallel trial engine and records the
-// result as a machine-readable regression artifact. It runs the
-// scheme-comparison pipeline (trace generation, QCR/OPT/UNI simulation,
-// trial-order aggregation) at a ladder of worker counts via
-// testing.Benchmark and writes BENCH_trials.json with ns/op, allocs/op
-// and the speedup relative to the serial (1-worker) run. CI uploads the
-// file so engine regressions — in throughput or in scaling — are visible
-// across commits.
+// Command agebench measures the parallel trial engine and the contact
+// pipeline, recording both as machine-readable regression artifacts.
+//
+// The trial-engine benchmark runs the scheme-comparison pipeline (trace
+// generation, QCR/OPT/UNI simulation, trial-order aggregation) at a
+// ladder of worker counts via testing.Benchmark and writes
+// BENCH_trials.json with ns/op, allocs/op and the speedup relative to
+// the serial (1-worker) run.
+//
+// The contact-pipeline benchmark compares materialized trace generation
+// (searchCDF pair sampling) with the streaming alias-method generator at
+// N ∈ {100, 1000, 5000}, runs the fused N = 5000 scale demo through the
+// simulator, and writes BENCH_contacts.json with ns/contact,
+// bytes/contact and the demo's peak heap versus the materialized floor.
+// CI uploads both files so regressions — in throughput, scaling, or
+// memory — are visible across commits.
 //
 // Determinism note: every worker count computes bit-identical results
 // (see internal/parallel), so the ladder measures scheduling overhead
@@ -60,12 +68,23 @@ type benchReport struct {
 
 func main() {
 	short := flag.Bool("short", false, "reduced scale (CI smoke run)")
-	out := flag.String("out", "BENCH_trials.json", "output path for the JSON report")
+	out := flag.String("out", "BENCH_trials.json", "output path for the trial-engine JSON report")
+	contactsOut := flag.String("contacts-out", "BENCH_contacts.json", "output path for the contact-pipeline JSON report (empty = skip)")
+	trialsOnly := flag.Bool("trials-only", false, "run only the trial-engine benchmark")
+	contactsOnly := flag.Bool("contacts-only", false, "run only the contact-pipeline benchmark")
 	flag.Parse()
 
-	if err := run(*short, *out); err != nil {
-		fmt.Fprintln(os.Stderr, "agebench:", err)
-		os.Exit(1)
+	if !*contactsOnly {
+		if err := run(*short, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "agebench:", err)
+			os.Exit(1)
+		}
+	}
+	if !*trialsOnly && *contactsOut != "" {
+		if err := runContacts(*short, *contactsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "agebench:", err)
+			os.Exit(1)
+		}
 	}
 }
 

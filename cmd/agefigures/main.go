@@ -21,6 +21,7 @@ import (
 
 	"impatience/internal/experiment"
 	"impatience/internal/plot"
+	"impatience/internal/prof"
 	"impatience/internal/synth"
 	"impatience/internal/utility"
 )
@@ -68,10 +69,22 @@ func main() {
 	list := flag.Bool("list", false, "list available figure ids")
 	ascii := flag.Bool("ascii", true, "print ASCII charts")
 	workers := flag.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS); results are identical for any value")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof agefigures <file>)")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	if err := run(figs, *outDir, *quick, *list, *ascii, *workers); err != nil {
+	stop, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "agefigures:", err)
+		os.Exit(1)
+	}
+	if err := run(figs, *outDir, *quick, *list, *ascii, *workers); err != nil {
+		stop()
+		fmt.Fprintln(os.Stderr, "agefigures:", err)
+		os.Exit(1)
+	}
+	if err := stop(); err != nil {
+		fmt.Fprintln(os.Stderr, "agefigures: profile:", err)
 		os.Exit(1)
 	}
 }

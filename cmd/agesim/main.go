@@ -20,6 +20,7 @@ import (
 	"impatience/internal/experiment"
 	"impatience/internal/faults"
 	"impatience/internal/parallel"
+	"impatience/internal/prof"
 	"impatience/internal/stats"
 	"impatience/internal/synth"
 	"impatience/internal/trace"
@@ -46,12 +47,15 @@ type options struct {
 	qcrScale    float64
 	warmup      float64
 	showAlloc   bool
+	stream      bool
+	cpuProfile  string
+	memProfile  string
 
 	// Fault injection (internal/faults) and QCR hardening.
-	churn      float64
-	churnDown  float64
-	ploss      float64
-	pdrop      float64
+	churn       float64
+	churnDown   float64
+	ploss       float64
+	pdrop       float64
 	massCrash   float64
 	massFrac    float64
 	massDown    float64
@@ -79,6 +83,9 @@ func main() {
 	flag.Float64Var(&o.qcrScale, "qcr-scale", 0.1, "reaction-function scale")
 	flag.Float64Var(&o.warmup, "warmup", 0.3, "fraction of the run excluded from averages")
 	flag.BoolVar(&o.showAlloc, "show-alloc", false, "print the final per-item replica counts")
+	flag.BoolVar(&o.stream, "stream", false, "fuse contact generation with the simulation (homogeneous QCR only): contacts are drawn lazily, never materialized")
+	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this file (go tool pprof agesim <file>)")
+	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file on exit")
 	flag.Float64Var(&o.churn, "churn", 0, "node crash rate (crashes per node-minute; 0 = off)")
 	flag.Float64Var(&o.churnDown, "churn-down", 0, "mean downtime after a crash (minutes; 0 = 1/churn)")
 	flag.Float64Var(&o.ploss, "ploss", 0, "probability a meeting's content-transfer phase fails")
@@ -143,11 +150,23 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
+	stop, err := prof.Start(o.cpuProfile, o.memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "agesim: profile:", err)
+		}
+	}()
 
 	sc := experiment.Scenario{
 		Nodes: o.nodes, Items: o.items, Rho: o.rho, Mu: o.mu, Omega: o.omega,
 		DemandRate: o.demandRate, Duration: o.duration, Trials: o.trials, Seed: o.seed,
 		Workers: o.workers, QCRScale: o.qcrScale, WarmupFrac: o.warmup,
+	}
+	if o.stream {
+		return runStream(o, u, sc)
 	}
 	if o.trials > 1 {
 		return runTrials(o, u, sc)
@@ -232,6 +251,36 @@ func run(o options) error {
 	if o.showAlloc {
 		fmt.Printf("final counts    %v\n", res.FinalCounts)
 	}
+	return nil
+}
+
+// runStream is the -stream path: contact generation fuses with the
+// simulation through the trace.Source seam, so the contact list is never
+// materialized and the run's heap stays at the generator's O(N²) rate
+// state. This is how production-scale populations (N in the thousands)
+// run on a laptop — see cmd/agebench's scale section for the numbers.
+func runStream(o options, u utility.Function, sc experiment.Scenario) error {
+	if o.traceKind != "homogeneous" {
+		return fmt.Errorf("-stream supports only -trace homogeneous (got %q)", o.traceKind)
+	}
+	if s, err := canonicalScheme(o.scheme); err != nil || s != experiment.SchemeQCR {
+		return fmt.Errorf("-stream supports only -scheme qcr (got %q)", o.scheme)
+	}
+	if o.trials > 1 {
+		return fmt.Errorf("-stream runs a single trial (got -trials %d)", o.trials)
+	}
+	rep, err := sc.StreamingScale(u, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scheme          %s (fused streaming pipeline)\n", experiment.SchemeQCR)
+	fmt.Printf("utility         %s\n", u.Name())
+	fmt.Printf("contacts        %d streamed over %d nodes, %.0f min (µ=%g/min)\n",
+		rep.Contacts, rep.Nodes, rep.Duration, o.mu)
+	fmt.Printf("avg utility     %.6g (gain per minute)\n", rep.AvgUtilityRate)
+	fmt.Printf("fulfillments    %d over %d meetings\n", rep.Fulfillments, rep.Meetings)
+	fmt.Printf("peak heap       %.1f MB streamed vs %.1f MB materialized contact list alone\n",
+		float64(rep.PeakHeapBytes)/1e6, float64(rep.MaterializedBytes)/1e6)
 	return nil
 }
 

@@ -21,9 +21,17 @@ func Generate(rm *trace.RateMatrix, duration float64, rng *rand.Rand) (*trace.Tr
 	if duration <= 0 {
 		return nil, fmt.Errorf("contact: duration %g not positive", duration)
 	}
-	total := rm.TotalRate()
+	// Entry-wise validation, not just a total check: a matrix mixing
+	// negative and positive rates can have a positive total while its CDF
+	// is non-monotonic, in which case the sampling loop below would
+	// silently assign events to the wrong pairs.
+	total, err := validRates(rm)
+	if err != nil {
+		return nil, err
+	}
 	tr := &trace.Trace{Nodes: rm.Nodes, Duration: duration}
 	if total <= 0 {
+		// The documented zero-contact trace: no rate, no process.
 		return tr, nil
 	}
 	// Cumulative distribution over pair indices for event assignment.
@@ -69,6 +77,9 @@ func GenerateHomogeneous(nodes int, mu, duration float64, rng *rand.Rand) (*trac
 func GenerateDiscrete(rm *trace.RateMatrix, duration, delta float64, rng *rand.Rand) (*trace.Trace, error) {
 	if duration <= 0 || delta <= 0 {
 		return nil, fmt.Errorf("contact: invalid duration %g / delta %g", duration, delta)
+	}
+	if _, err := validRates(rm); err != nil {
+		return nil, err
 	}
 	tr := &trace.Trace{Nodes: rm.Nodes, Duration: duration}
 	rates := rm.Rates()

@@ -66,6 +66,46 @@ func TestGenerateZeroRates(t *testing.T) {
 	}
 }
 
+// TestGenerateRejectsInvalidRates: matrices mixing negative (or NaN)
+// entries with positive ones used to slip through — Generate only checked
+// the total, so a non-monotonic CDF could silently mis-assign contacts.
+// Every generator must refuse them up front, and a genuinely all-zero
+// matrix must return the documented zero-contact trace.
+func TestGenerateRejectsInvalidRates(t *testing.T) {
+	bad := trace.NewRateMatrix(4)
+	bad.Set(0, 1, 0.5)
+	bad.Set(1, 2, -0.5) // total still positive
+	bad.Set(2, 3, 0)
+	if _, err := Generate(bad, 100, newRNG(8)); err == nil {
+		t.Error("Generate accepted a negative rate")
+	}
+	if _, err := GenerateDiscrete(bad, 100, 1, newRNG(8)); err == nil {
+		t.Error("GenerateDiscrete accepted a negative rate")
+	}
+	if _, err := NewStream(bad, 100, newRNG(8)); err == nil {
+		t.Error("NewStream accepted a negative rate")
+	}
+	if _, err := NewDiscreteStream(bad, 100, 1, newRNG(8)); err == nil {
+		t.Error("NewDiscreteStream accepted a negative rate")
+	}
+
+	nan := trace.NewRateMatrix(3)
+	nan.Set(0, 1, math.NaN())
+	if _, err := Generate(nan, 100, newRNG(8)); err == nil {
+		t.Error("Generate accepted a NaN rate")
+	}
+
+	// Zero-total with zero entries only: the documented empty trace.
+	zero := trace.NewRateMatrix(4)
+	tr, err := GenerateDiscrete(zero, 100, 1, newRNG(8))
+	if err != nil {
+		t.Fatalf("GenerateDiscrete on zero matrix: %v", err)
+	}
+	if len(tr.Contacts) != 0 {
+		t.Errorf("zero matrix produced %d discrete contacts", len(tr.Contacts))
+	}
+}
+
 func TestGenerateRejectsBadDuration(t *testing.T) {
 	if _, err := Generate(trace.UniformRates(3, 1), 0, newRNG(4)); err == nil {
 		t.Error("zero duration accepted")

@@ -13,3 +13,10 @@ import (
 func contactGen(nodes int, mu, duration float64, rng *rand.Rand) (*trace.Trace, error) {
 	return contact.GenerateHomogeneous(nodes, mu, duration, rng)
 }
+
+// contactSource is the streaming counterpart of contactGen: contacts are
+// drawn lazily (O(N²) rate state, no contact list) for fusion with the
+// simulator.
+func contactSource(nodes int, mu, duration float64, rng *rand.Rand) (trace.Source, error) {
+	return contact.NewHomogeneousStream(nodes, mu, duration, rng)
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package experiment
+
+// raceScaleDown shrinks the streaming scale demo when the race detector
+// is on (it multiplies both runtime and heap). Off in normal builds: the
+// demo runs at its full N = 5000.
+const raceScaleDown = false

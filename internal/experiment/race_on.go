@@ -1,0 +1,7 @@
+//go:build race
+
+package experiment
+
+// raceScaleDown shrinks the streaming scale demo when the race detector
+// is on (it multiplies both runtime and heap). On in -race builds.
+const raceScaleDown = true

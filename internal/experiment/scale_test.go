@@ -1,0 +1,78 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+
+	"impatience/internal/trace"
+	"impatience/internal/utility"
+)
+
+// TestStreamingScaleSmoke runs the N = 5000 fused streaming demo end to
+// end (shrunk under -race): the run must complete, produce the expected
+// contact volume, and — at full size — hold its sampled peak heap below
+// the floor a materialized contact list alone would cost. This is the
+// CI smoke for the scale headline and deliberately runs under -short.
+func TestStreamingScaleSmoke(t *testing.T) {
+	sc := ScaleScenario()
+	rep, err := sc.StreamingScale(utility.Step{Tau: 60}, 0)
+	if err != nil {
+		t.Fatalf("StreamingScale: %v", err)
+	}
+	want := float64(trace.NumPairs(sc.Nodes)) * sc.Mu * sc.Duration
+	if got := float64(rep.Contacts); math.Abs(got-want) > 6*math.Sqrt(want) {
+		t.Errorf("streamed %g contacts, want ≈%g", got, want)
+	}
+	if rep.Meetings != rep.Contacts {
+		t.Errorf("meetings %d != contacts %d (no faults configured)", rep.Meetings, rep.Contacts)
+	}
+	if rep.Fulfillments == 0 {
+		t.Error("no fulfillments in the scale run")
+	}
+	if rep.PeakHeapBytes == 0 {
+		t.Error("peak heap not sampled")
+	}
+	if !raceScaleDown {
+		// The memory headline: the fused pipeline's whole live heap
+		// stays below what the materialized contact slice alone would
+		// occupy. Only meaningful at full scale — the shrunk -race demo
+		// has too few contacts for the slice to dominate.
+		if rep.PeakHeapBytes >= rep.MaterializedBytes {
+			t.Errorf("peak heap %d B not below materialized floor %d B (%d contacts)",
+				rep.PeakHeapBytes, rep.MaterializedBytes, rep.Contacts)
+		}
+	}
+}
+
+// TestHomogeneousSourceDeterministic: a SourceGen trial is a pure
+// function of its seed, the streaming analogue of the TraceGen contract.
+func TestHomogeneousSourceDeterministic(t *testing.T) {
+	sc := Default()
+	sc.Nodes = 10
+	sc.Duration = 300
+	gen := sc.HomogeneousSource()
+	drain := func() []trace.Contact {
+		src, err := gen(42)
+		if err != nil {
+			t.Fatalf("SourceGen: %v", err)
+		}
+		var out []trace.Contact
+		for {
+			c, ok := src.Next()
+			if !ok {
+				break
+			}
+			out = append(out, c)
+		}
+		return out
+	}
+	a, b := drain(), drain()
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("lengths differ or empty: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("contact %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package numeric
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// ErrBadWeights is returned when an alias table is built from weights that
+// are not a usable discrete distribution: a negative or infinite entry, or
+// a total weight of zero. NaN entries return ErrNaN, consistent with the
+// root finders: every comparison against NaN is false, so a NaN weight
+// would otherwise slip through the small/large partition and corrupt the
+// table silently.
+var ErrBadWeights = errors.New("numeric: invalid sampling weights")
+
+// Alias is a Walker/Vose alias table: O(n) construction, O(1) sampling
+// from a fixed discrete distribution. It replaces per-draw binary search
+// over a cumulative distribution (O(log n) with cache-hostile access) in
+// the contact generators, where n is the number of node pairs — O(N²) in
+// the population size — and one draw happens per generated contact.
+//
+// The table stores, per column i, the probability prob[i] of keeping i
+// and the alias to sample otherwise. Columns with zero weight get
+// prob 0 and an alias to a positive-weight column, so they are never
+// returned. Memory is 12 bytes per weight (float64 + int32).
+type Alias struct {
+	prob  []float64
+	alias []int32
+}
+
+// NewAlias builds the table. Weights must be non-negative and finite with
+// a positive total; they need not be normalized. len(weights) must fit in
+// an int32 (the alias column index), which holds for any population the
+// rate matrices can represent.
+func NewAlias(weights []float64) (*Alias, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("%w: empty weight vector", ErrBadWeights)
+	}
+	if n > math.MaxInt32 {
+		return nil, fmt.Errorf("%w: %d weights exceed int32 columns", ErrBadWeights, n)
+	}
+	var total float64
+	for i, w := range weights {
+		if math.IsNaN(w) {
+			return nil, fmt.Errorf("%w: weight %d is NaN", ErrNaN, i)
+		}
+		if w < 0 || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("%w: weight %d is %g", ErrBadWeights, i, w)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("%w: total weight is zero", ErrBadWeights)
+	}
+
+	a := &Alias{prob: make([]float64, n), alias: make([]int32, n)}
+	// Scale so the average column is exactly 1, then pair each deficient
+	// ("small") column with a surplus ("large") one.
+	scaled := make([]float64, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+	}
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, s := range scaled {
+		if s < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] = (scaled[l] + scaled[s]) - 1
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	// Leftovers hold 1 up to float residue; they keep themselves.
+	for _, l := range large {
+		a.prob[l] = 1
+		a.alias[l] = l
+	}
+	for _, s := range small {
+		a.prob[s] = 1
+		a.alias[s] = s
+	}
+	return a, nil
+}
+
+// Len returns the number of columns.
+func (a *Alias) Len() int { return len(a.prob) }
+
+// Sample draws one index with probability proportional to its weight,
+// using a single uniform: the integer part picks the column, the
+// fractional part decides between the column and its alias. No
+// allocation, two array reads.
+func (a *Alias) Sample(rng *rand.Rand) int {
+	u := rng.Float64() * float64(len(a.prob))
+	i := int(u)
+	if i >= len(a.prob) { // guards float rounding at the top end
+		i = len(a.prob) - 1
+	}
+	if u-float64(i) < a.prob[i] {
+		return i
+	}
+	return int(a.alias[i])
+}

@@ -1,0 +1,58 @@
+// Package prof wires the -cpuprofile/-memprofile flags shared by the
+// CLIs onto runtime/pprof. The profiles feed the documented workflow
+// (README, "Profiling"): `go tool pprof <binary> cpu.out` against the
+// simulator hot path.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath (if non-empty) and returns a
+// stop function that ends the CPU profile and writes the heap profile to
+// memPath (if non-empty). Callers must invoke stop on every exit path —
+// typically `defer stop()` right after the error check. Either path may
+// be empty; Start with both empty returns a no-op stop.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("start CPU profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+			cpuFile = nil
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			// Up-to-date allocation stats: the heap profile should show
+			// live objects, not garbage awaiting collection.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return fmt.Errorf("write heap profile: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			memPath = ""
+		}
+		return nil
+	}, nil
+}

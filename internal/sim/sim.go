@@ -43,8 +43,20 @@ type Config struct {
 	Utilities []utility.Function
 	Pop       demand.Popularity
 	Profile   demand.Profile // optional; uniform if zero value
-	Trace     *trace.Trace   // drives meetings and the run duration
-	Policy    core.Policy    // replication policy (core.Static for fixed allocations)
+	// Trace drives meetings and the run duration (the materialized path).
+	// Exactly one of Trace and Contacts must be set; a Trace is
+	// equivalent to Contacts: tr.Source() and is kept as the fast path
+	// the golden digest tests pin bit-for-bit.
+	Trace *trace.Trace
+	// Contacts streams the meetings instead of materializing them:
+	// generation fuses with simulation, so a huge-duration run holds the
+	// source's O(N²) rate state rather than the O(N²·µ·T) contact list.
+	// Streaming sources must honor the trace.Source contract
+	// (time-ordered, in-range contacts); every streamed contact is
+	// re-checked cheaply as it is consumed, and sources implementing
+	// trace.ErrSource have their terminal error propagated.
+	Contacts trace.Source
+	Policy   core.Policy // replication policy (core.Static for fixed allocations)
 
 	// Initial is the starting allocation (counts per item). nil means the
 	// UNI allocation. For static policies this is the allocation under
@@ -279,6 +291,15 @@ func (s *state) addRequest(node, item int, t float64) {
 	idx := node*s.items + item
 	if len(s.reqs[idx]) == 0 {
 		s.reqItems[node] = insertSorted(s.reqItems[node], int32(item))
+		if s.reqs[idx] == nil {
+			// First request ever for (node, item): start with room for a
+			// small queue so arrival churn appends into retained storage
+			// instead of growing 1→2→4. Fulfillment and crash truncate to
+			// length 0 but keep the capacity, which is what makes the
+			// fused per-contact path allocation-free in steady state (see
+			// the AllocsPerRun regression test).
+			s.reqs[idx] = make([]request, 0, 4)
+		}
 	}
 	s.reqs[idx] = append(s.reqs[idx], request{t0: t})
 }
@@ -373,19 +394,86 @@ func (s *state) applyFault(ev faults.Event, res *Result) {
 	}
 }
 
-// Run executes the simulation.
+// runner is one simulation in flight: the live caches plus every loop
+// variable of the event loop, factored out of Run so the per-contact hot
+// path (step) is a plain method — the allocation regression tests drive
+// it contact by contact, and both the materialized and the streaming
+// contact paths share it verbatim.
+type runner struct {
+	cfg *Config
+	s   *state
+	res *Result
+	mat *trace.Trace // materialized path; nil when streaming Contacts
+
+	proc     *demand.Process
+	next     demand.Request
+	ok       bool
+	switched bool
+
+	fevents []faults.Event
+	fi      int
+
+	bins   []Bin
+	binIdx int
+
+	mc          mandateCounter
+	hasMandates bool
+
+	totalFulfilled, totalImmediate int // whole-run counts for overhead
+
+	nodes    int
+	duration float64
+	prevT    float64 // last consumed contact time (streaming sanity check)
+}
+
+// Run executes the simulation: set-up, one step per contact in time
+// order, then the horizon accounting. The two contact paths are
+// behavior-identical — a materialized trace is simply the pre-validated
+// fast path, which the golden digest tests pin bit-for-bit.
 func Run(cfg Config) (*Result, error) {
-	if err := validate(&cfg); err != nil {
+	r, err := newRunner(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	if r.mat != nil {
+		for _, c := range r.mat.Contacts {
+			if err := r.step(c); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for {
+			c, ok := cfg.Contacts.Next()
+			if !ok {
+				break
+			}
+			if err := r.step(c); err != nil {
+				return nil, err
+			}
+		}
+		if es, ok := cfg.Contacts.(trace.ErrSource); ok {
+			if err := es.Err(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return r.finish()
+}
+
+// newRunner validates the configuration and builds the initial caches,
+// demand process, fault timeline and time-series bookkeeping.
+func newRunner(cfg *Config) (*runner, error) {
+	nodes, duration, err := validate(cfg)
+	if err != nil {
 		return nil, err
 	}
 	items := cfg.Pop.Items()
-	nodes := cfg.Trace.Nodes
 	servers := nodes
 	if cfg.ServerCount > 0 {
 		servers = cfg.ServerCount
 	}
 	s := &state{
-		cfg:      &cfg,
+		cfg:      cfg,
 		items:    items,
 		nodes:    nodes,
 		servers:  servers,
@@ -456,189 +544,222 @@ func Run(cfg Config) (*Result, error) {
 	var fevents []faults.Event
 	if s.inj != nil {
 		s.down = make([]bool, nodes)
-		fevents = s.inj.Timeline(nodes, cfg.Trace.Duration)
+		fevents = s.inj.Timeline(nodes, duration)
 		if fa, ok := cfg.Policy.(core.FaultAware); ok {
 			fa.SetDisruptor(s.inj)
 		}
 	}
-	fi := 0
 
 	cfg.Policy.Init(s)
 
 	res := &Result{
-		Duration:     cfg.Trace.Duration,
-		MeasureStart: cfg.WarmupFrac * cfg.Trace.Duration,
+		Duration:     duration,
+		MeasureStart: cfg.WarmupFrac * duration,
 		FinalCounts:  make(alloc.Counts, items),
 	}
-	mc, hasMandates := cfg.Policy.(mandateCounter)
-
-	// Time-series bookkeeping.
-	var bins []Bin
-	binIdx := -1
-	flushTo := func(t float64) {
-		if cfg.BinWidth <= 0 {
-			return
-		}
-		for target := int(t / cfg.BinWidth); binIdx < target; {
-			if binIdx >= 0 && binIdx < len(bins) {
-				// Finalize the closing bin with snapshots.
-				if cfg.RecordCounts {
-					bins[binIdx].Counts = append(alloc.Counts(nil), intsToCounts(s.counts)...)
-				}
-				if hasMandates {
-					bins[binIdx].Mandates = mc.TotalMandates()
-				}
-			}
-			binIdx++
-			bins = append(bins, Bin{T0: float64(binIdx) * cfg.BinWidth, T1: float64(binIdx+1) * cfg.BinWidth})
-		}
+	r := &runner{
+		cfg:      cfg,
+		s:        s,
+		res:      res,
+		mat:      cfg.Trace,
+		proc:     proc,
+		switched: cfg.DemandSwitch == nil,
+		fevents:  fevents,
+		binIdx:   -1,
+		nodes:    nodes,
+		duration: duration,
 	}
+	r.mc, r.hasMandates = cfg.Policy.(mandateCounter)
+	r.next, r.ok = proc.Next()
+	return r, nil
+}
 
-	var totalFulfilled, totalImmediate int // whole-run counts for overhead
-	record := func(t, gain float64, immediate bool) {
-		totalFulfilled++
+// flushTo advances the time-series bins up to time t.
+func (r *runner) flushTo(t float64) {
+	cfg := r.cfg
+	if cfg.BinWidth <= 0 {
+		return
+	}
+	for target := int(t / cfg.BinWidth); r.binIdx < target; {
+		if r.binIdx >= 0 && r.binIdx < len(r.bins) {
+			// Finalize the closing bin with snapshots.
+			if cfg.RecordCounts {
+				r.bins[r.binIdx].Counts = append(alloc.Counts(nil), intsToCounts(r.s.counts)...)
+			}
+			if r.hasMandates {
+				r.bins[r.binIdx].Mandates = r.mc.TotalMandates()
+			}
+		}
+		r.binIdx++
+		r.bins = append(r.bins, Bin{T0: float64(r.binIdx) * cfg.BinWidth, T1: float64(r.binIdx+1) * cfg.BinWidth})
+	}
+}
+
+// record books one fulfillment.
+func (r *runner) record(t, gain float64, immediate bool) {
+	r.totalFulfilled++
+	if immediate {
+		r.totalImmediate++
+	}
+	if r.cfg.BinWidth > 0 {
+		r.flushTo(t)
+		r.bins[r.binIdx].Gain += gain
+		r.bins[r.binIdx].Fulfillments++
+	}
+	if t >= r.res.MeasureStart {
+		r.res.TotalGain += gain
+		r.res.Fulfillments++
 		if immediate {
-			totalImmediate++
-		}
-		if cfg.BinWidth > 0 {
-			flushTo(t)
-			bins[binIdx].Gain += gain
-			bins[binIdx].Fulfillments++
-		}
-		if t >= res.MeasureStart {
-			res.TotalGain += gain
-			res.Fulfillments++
-			if immediate {
-				res.Immediate++
-			}
+			r.res.Immediate++
 		}
 	}
+}
 
-	handleArrival := func(r demand.Request) {
-		if s.inj != nil && s.down[r.Node] {
-			// The device is off: the request is never issued.
-			s.tally.DroppedArrivals++
-			return
-		}
-		if s.Has(r.Node, r.Item) {
-			// Pure P2P immediate fulfillment from the local cache.
-			record(r.T, s.utilityFor(r.Item).H0(), true)
-			if s.inj != nil && !cfg.NoSticky && s.stickyN[r.Item] < 0 {
-				s.reseed(r.Node, r.Item)
-			}
-			cfg.Policy.OnFulfill(s, r.Node, r.Node, r.Item, 0, 0, r.T)
-			return
-		}
-		s.addRequest(r.Node, r.Item, r.T)
+// handleArrival processes one demand-process request.
+func (r *runner) handleArrival(rq demand.Request) {
+	s := r.s
+	if s.inj != nil && s.down[rq.Node] {
+		// The device is off: the request is never issued.
+		s.tally.DroppedArrivals++
+		return
 	}
+	if s.Has(rq.Node, rq.Item) {
+		// Pure P2P immediate fulfillment from the local cache.
+		r.record(rq.T, s.utilityFor(rq.Item).H0(), true)
+		if s.inj != nil && !r.cfg.NoSticky && s.stickyN[rq.Item] < 0 {
+			s.reseed(rq.Node, rq.Item)
+		}
+		r.cfg.Policy.OnFulfill(s, rq.Node, rq.Node, rq.Item, 0, 0, rq.T)
+		return
+	}
+	s.addRequest(rq.Node, rq.Item, rq.T)
+}
 
-	// fulfillSide advances node n's requests given it met peer: every
-	// outstanding request queries the peer (counter++); requests for items
-	// the peer holds are all fulfilled. The node's outstanding-item list
-	// is already sorted (kept so incrementally), so this iterates it in
-	// place — in the same deterministic item order as before — without
-	// the per-meeting key collection and sort the profiler flagged.
-	fulfillSide := func(n, peer int, t float64) {
-		list := s.reqItems[n]
-		if len(list) == 0 {
-			return
-		}
-		base := n * s.items
-		for r := 0; r < len(list); {
-			item := int(list[r])
-			pending := s.reqs[base+item]
-			// A truncated meeting completes the metadata exchange (the
-			// query counters advance) but loses the item payload: the
-			// request stays open and retries at the next meeting with a
-			// holder.
-			if s.Has(peer, item) && !s.truncated {
-				for _, rq := range pending {
-					q := rq.queries + 1
-					age := t - rq.t0
-					record(t, s.utilityFor(item).H(age), false)
-					cfg.Policy.OnFulfill(s, n, peer, item, q, age, t)
-				}
-				if s.inj != nil && !s.cfg.NoSticky && s.stickyN[item] < 0 {
-					s.reseed(peer, item)
-				}
-				s.reqs[base+item] = pending[:0]
-				copy(list[r:], list[r+1:])
-				list = list[:len(list)-1]
-			} else {
-				for k := range pending {
-					pending[k].queries++
-				}
-				r++
-			}
-		}
-		s.reqItems[n] = list
+// fulfillSide advances node n's requests given it met peer: every
+// outstanding request queries the peer (counter++); requests for items
+// the peer holds are all fulfilled. The node's outstanding-item list
+// is already sorted (kept so incrementally), so this iterates it in
+// place — in the same deterministic item order as before — without
+// the per-meeting key collection and sort the profiler flagged.
+func (r *runner) fulfillSide(n, peer int, t float64) {
+	s := r.s
+	list := s.reqItems[n]
+	if len(list) == 0 {
+		return
 	}
+	base := n * s.items
+	for i := 0; i < len(list); {
+		item := int(list[i])
+		pending := s.reqs[base+item]
+		// A truncated meeting completes the metadata exchange (the
+		// query counters advance) but loses the item payload: the
+		// request stays open and retries at the next meeting with a
+		// holder.
+		if s.Has(peer, item) && !s.truncated {
+			for _, rq := range pending {
+				q := rq.queries + 1
+				age := t - rq.t0
+				r.record(t, s.utilityFor(item).H(age), false)
+				r.cfg.Policy.OnFulfill(s, n, peer, item, q, age, t)
+			}
+			if s.inj != nil && !s.cfg.NoSticky && s.stickyN[item] < 0 {
+				s.reseed(peer, item)
+			}
+			s.reqs[base+item] = pending[:0]
+			copy(list[i:], list[i+1:])
+			list = list[:len(list)-1]
+		} else {
+			for k := range pending {
+				pending[k].queries++
+			}
+			i++
+		}
+	}
+	s.reqItems[n] = list
+}
 
-	switched := cfg.DemandSwitch == nil
-	next, ok := proc.Next()
-	// advanceTo interleaves request arrivals and churn events in time
-	// order up to the given horizon (the next contact, or the end of the
-	// trace). With fault injection off there are no churn events and this
-	// reduces exactly to the original arrival drain.
-	advanceTo := func(horizon float64) error {
-		for {
-			if fi < len(fevents) && fevents[fi].T <= horizon &&
-				(!ok || next.T > fevents[fi].T) {
-				s.applyFault(fevents[fi], res)
-				fi++
-				continue
-			}
-			if ok && next.T <= horizon {
-				if !switched && next.T >= cfg.DemandSwitchTime {
-					if err := proc.SetPopularity(*cfg.DemandSwitch); err != nil {
-						return err
-					}
-					switched = true
-				}
-				handleArrival(next)
-				next, ok = proc.Next()
-				continue
-			}
-			return nil
-		}
-	}
-	for _, c := range cfg.Trace.Contacts {
-		if err := advanceTo(c.T); err != nil {
-			return nil, err
-		}
-		flushTo(c.T)
-		if s.inj != nil && (s.down[c.A] || s.down[c.B]) {
-			// A crashed node cannot meet anyone; the contact is lost.
-			s.tally.SkippedContacts++
+// advanceTo interleaves request arrivals and churn events in time
+// order up to the given horizon (the next contact, or the end of the
+// trace). With fault injection off there are no churn events and this
+// reduces exactly to the original arrival drain.
+func (r *runner) advanceTo(horizon float64) error {
+	for {
+		if r.fi < len(r.fevents) && r.fevents[r.fi].T <= horizon &&
+			(!r.ok || r.next.T > r.fevents[r.fi].T) {
+			r.s.applyFault(r.fevents[r.fi], r.res)
+			r.fi++
 			continue
 		}
-		res.Meetings++
-		if s.inj != nil && s.inj.TruncateMeeting() {
-			s.truncated = true
-			s.tally.TruncatedMeetings++
+		if r.ok && r.next.T <= horizon {
+			if !r.switched && r.next.T >= r.cfg.DemandSwitchTime {
+				if err := r.proc.SetPopularity(*r.cfg.DemandSwitch); err != nil {
+					return err
+				}
+				r.switched = true
+			}
+			r.handleArrival(r.next)
+			r.next, r.ok = r.proc.Next()
+			continue
 		}
-		fulfillSide(c.A, c.B, c.T)
-		fulfillSide(c.B, c.A, c.T)
-		cfg.Policy.OnMeeting(s, c.A, c.B, c.T)
-		s.truncated = false
+		return nil
 	}
+}
+
+// step consumes one contact: the fused per-contact hot path shared by the
+// materialized and streaming paths. In steady state (no new (node, item)
+// request queues, no time series) it performs zero heap allocations —
+// pinned by the AllocsPerRun regression test.
+func (r *runner) step(c trace.Contact) error {
+	if r.mat == nil {
+		// Streamed contacts cannot be validated up front; check each one
+		// as it is consumed (comparisons only, nothing allocated).
+		if err := trace.CheckStreamContact(c, r.prevT, r.nodes, r.duration); err != nil {
+			return err
+		}
+		r.prevT = c.T
+	}
+	if err := r.advanceTo(c.T); err != nil {
+		return err
+	}
+	r.flushTo(c.T)
+	s := r.s
+	if s.inj != nil && (s.down[c.A] || s.down[c.B]) {
+		// A crashed node cannot meet anyone; the contact is lost.
+		s.tally.SkippedContacts++
+		return nil
+	}
+	r.res.Meetings++
+	if s.inj != nil && s.inj.TruncateMeeting() {
+		s.truncated = true
+		s.tally.TruncatedMeetings++
+	}
+	r.fulfillSide(c.A, c.B, c.T)
+	r.fulfillSide(c.B, c.A, c.T)
+	r.cfg.Policy.OnMeeting(s, c.A, c.B, c.T)
+	s.truncated = false
+	return nil
+}
+
+// finish drains the tail of the run and assembles the Result.
+func (r *runner) finish() (*Result, error) {
+	cfg, s, res := r.cfg, r.s, r.res
 	// Drain arrivals (they can no longer be fulfilled but belong to
 	// Outstanding) and churn events up to the end of the trace.
-	if err := advanceTo(cfg.Trace.Duration); err != nil {
+	if err := r.advanceTo(r.duration); err != nil {
 		return nil, err
 	}
-	flushTo(cfg.Trace.Duration)
+	r.flushTo(r.duration)
 	// Finalize the last open bin and drop any bin starting at or past the
 	// end of the trace.
-	if cfg.BinWidth > 0 && binIdx >= 0 && binIdx < len(bins) {
+	if cfg.BinWidth > 0 && r.binIdx >= 0 && r.binIdx < len(r.bins) {
 		if cfg.RecordCounts {
-			bins[binIdx].Counts = append(alloc.Counts(nil), intsToCounts(s.counts)...)
+			r.bins[r.binIdx].Counts = append(alloc.Counts(nil), intsToCounts(s.counts)...)
 		}
-		if hasMandates {
-			bins[binIdx].Mandates = mc.TotalMandates()
+		if r.hasMandates {
+			r.bins[r.binIdx].Mandates = r.mc.TotalMandates()
 		}
-		for len(bins) > 0 && bins[len(bins)-1].T0 >= cfg.Trace.Duration {
-			bins = bins[:len(bins)-1]
+		for len(r.bins) > 0 && r.bins[len(r.bins)-1].T0 >= r.duration {
+			r.bins = r.bins[:len(r.bins)-1]
 		}
 	}
 
@@ -649,7 +770,7 @@ func Run(cfg Config) (*Result, error) {
 	// item entirely (e.g. DOM under a waiting-cost utility) would look
 	// free. Reward-type utilities (h ≥ 0) are unaffected — their gain is
 	// only earned on actual fulfillment.
-	end := cfg.Trace.Duration
+	end := r.duration
 	for n := 0; n < s.nodes; n++ {
 		// Node then sorted item order: the float summation order is fixed,
 		// so the Result digest is reproducible run to run.
@@ -669,15 +790,15 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 	}
-	span := cfg.Trace.Duration - res.MeasureStart
+	span := r.duration - res.MeasureStart
 	if span > 0 {
 		res.AvgUtilityRate = res.TotalGain / span
 	}
 	res.ReplicasMade = s.writes
-	res.Bins = bins
+	res.Bins = r.bins
 	res.Overhead = Overhead{
 		MetadataMsgs:     2 * res.Meetings,
-		ContentTransfers: totalFulfilled - totalImmediate + s.writes,
+		ContentTransfers: r.totalFulfilled - r.totalImmediate + s.writes,
 	}
 	if mm, ok := cfg.Policy.(interface{ MandatesMoved() int }); ok {
 		res.Overhead.MandateTransfers = mm.MandatesMoved()
@@ -701,40 +822,57 @@ func intsToCounts(v []int) alloc.Counts {
 	return c
 }
 
-func validate(cfg *Config) error {
+// validate checks the configuration and resolves the population size and
+// run duration from whichever contact input (Trace or Contacts) is set.
+func validate(cfg *Config) (nodes int, duration float64, err error) {
 	switch {
 	case cfg.Utility == nil && len(cfg.Utilities) == 0:
-		return fmt.Errorf("sim: nil utility")
+		return 0, 0, fmt.Errorf("sim: nil utility")
 	case cfg.Policy == nil:
-		return fmt.Errorf("sim: nil policy")
-	case cfg.Trace == nil:
-		return fmt.Errorf("sim: nil trace")
+		return 0, 0, fmt.Errorf("sim: nil policy")
+	case cfg.Trace == nil && cfg.Contacts == nil:
+		return 0, 0, fmt.Errorf("sim: nil trace (set Trace or Contacts)")
+	case cfg.Trace != nil && cfg.Contacts != nil:
+		return 0, 0, fmt.Errorf("sim: both Trace and Contacts set; pick one")
 	case cfg.Rho <= 0:
-		return fmt.Errorf("sim: ρ=%d", cfg.Rho)
+		return 0, 0, fmt.Errorf("sim: ρ=%d", cfg.Rho)
 	case cfg.Pop.Items() == 0:
-		return fmt.Errorf("sim: empty catalog")
+		return 0, 0, fmt.Errorf("sim: empty catalog")
 	}
-	if err := cfg.Trace.Validate(); err != nil {
-		return err
+	if cfg.Trace != nil {
+		if err := cfg.Trace.Validate(); err != nil {
+			return 0, 0, err
+		}
+		nodes, duration = cfg.Trace.Nodes, cfg.Trace.Duration
+	} else {
+		// A stream cannot be validated up front; its dimensions can.
+		// Contacts themselves are checked one at a time as consumed.
+		nodes, duration = cfg.Contacts.Nodes(), cfg.Contacts.Duration()
+		if nodes < 2 {
+			return 0, 0, fmt.Errorf("sim: contact source has %d nodes, need ≥ 2", nodes)
+		}
+		if !(duration > 0) { // catches NaN too
+			return 0, 0, fmt.Errorf("sim: contact source duration %g", duration)
+		}
 	}
 	if err := cfg.Faults.Validate(); err != nil {
-		return err
+		return 0, 0, err
 	}
-	if cfg.ServerCount < 0 || cfg.ServerCount >= cfg.Trace.Nodes {
+	if cfg.ServerCount < 0 || cfg.ServerCount >= nodes {
 		if cfg.ServerCount != 0 {
-			return fmt.Errorf("sim: ServerCount %d must be in (0, %d)", cfg.ServerCount, cfg.Trace.Nodes)
+			return 0, 0, fmt.Errorf("sim: ServerCount %d must be in (0, %d)", cfg.ServerCount, nodes)
 		}
 	}
 	if len(cfg.Utilities) > 0 && len(cfg.Utilities) != cfg.Pop.Items() {
-		return fmt.Errorf("sim: %d per-item utilities for %d items", len(cfg.Utilities), cfg.Pop.Items())
+		return 0, 0, fmt.Errorf("sim: %d per-item utilities for %d items", len(cfg.Utilities), cfg.Pop.Items())
 	}
 	if cfg.ServerCount == 0 {
 		if cfg.Utility != nil && !utility.SupportsPureP2P(cfg.Utility) {
-			return fmt.Errorf("sim: %s has unbounded h(0+); use the dedicated-node case (ServerCount > 0)", cfg.Utility.Name())
+			return 0, 0, fmt.Errorf("sim: %s has unbounded h(0+); use the dedicated-node case (ServerCount > 0)", cfg.Utility.Name())
 		}
 		for i, f := range cfg.Utilities {
 			if f != nil && !utility.SupportsPureP2P(f) {
-				return fmt.Errorf("sim: item %d utility %s has unbounded h(0+); use the dedicated-node case", i, f.Name())
+				return 0, 0, fmt.Errorf("sim: item %d utility %s has unbounded h(0+); use the dedicated-node case", i, f.Name())
 			}
 		}
 	}
@@ -744,29 +882,29 @@ func validate(cfg *Config) error {
 	case cfg.WarmupFrac < 0:
 		cfg.WarmupFrac = 0
 	case cfg.WarmupFrac >= 1:
-		return fmt.Errorf("sim: warmup fraction %g", cfg.WarmupFrac)
+		return 0, 0, fmt.Errorf("sim: warmup fraction %g", cfg.WarmupFrac)
 	}
-	effServers := cfg.Trace.Nodes
+	effServers := nodes
 	if cfg.ServerCount > 0 {
 		effServers = cfg.ServerCount
 	}
 	if !cfg.NoSticky && cfg.Pop.Items() > effServers*cfg.Rho {
-		return fmt.Errorf("sim: %d items exceed global capacity %d; sticky replicas impossible", cfg.Pop.Items(), effServers*cfg.Rho)
+		return 0, 0, fmt.Errorf("sim: %d items exceed global capacity %d; sticky replicas impossible", cfg.Pop.Items(), effServers*cfg.Rho)
 	}
 	if cfg.DemandSwitch != nil && cfg.DemandSwitch.Items() != cfg.Pop.Items() {
-		return fmt.Errorf("sim: demand switch catalog %d != %d", cfg.DemandSwitch.Items(), cfg.Pop.Items())
+		return 0, 0, fmt.Errorf("sim: demand switch catalog %d != %d", cfg.DemandSwitch.Items(), cfg.Pop.Items())
 	}
 	if cfg.InitialPlacement != nil {
 		p := cfg.InitialPlacement
 		if !cfg.NoSticky {
-			return fmt.Errorf("sim: InitialPlacement requires NoSticky")
+			return 0, 0, fmt.Errorf("sim: InitialPlacement requires NoSticky")
 		}
 		if p.Items != cfg.Pop.Items() || p.Servers != effServers || p.Rho > cfg.Rho {
-			return fmt.Errorf("sim: placement shape %dx%d/ρ%d incompatible with %dx%d/ρ%d",
+			return 0, 0, fmt.Errorf("sim: placement shape %dx%d/ρ%d incompatible with %dx%d/ρ%d",
 				p.Items, p.Servers, p.Rho, cfg.Pop.Items(), effServers, cfg.Rho)
 		}
 	}
-	return nil
+	return nodes, duration, nil
 }
 
 // initCaches lays out the initial allocation: sticky replicas first (one

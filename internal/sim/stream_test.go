@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"testing"
+
+	"impatience/internal/contact"
+	"impatience/internal/core"
+	"impatience/internal/demand"
+	"impatience/internal/trace"
+	"impatience/internal/utility"
+)
+
+// TestStreamAdapterMatchesMaterialized: driving the simulator through
+// Config.Contacts with an adapter over the same trace must be
+// bit-identical to the materialized path — same seed, same Digest. This
+// is the equivalence that lets experiments switch paths freely.
+func TestStreamAdapterMatchesMaterialized(t *testing.T) {
+	tr := smallTrace(t, 12, 0.05, 800, 9)
+	for _, tc := range []struct {
+		name string
+		pol  func() core.Policy
+	}{
+		{"static", func() core.Policy { return core.Static{Label: "uni"} }},
+		{"qcr", func() core.Policy {
+			return &core.QCR{
+				Reaction:       core.TunedReaction(utility.Step{Tau: 10}, 0.05, 12, 1),
+				MandateRouting: true,
+				StrictSource:   true,
+				Seed:           7,
+			}
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			mat := baseConfig(t, tr, tc.pol())
+			mat.BinWidth = 80
+			want, err := Run(mat)
+			if err != nil {
+				t.Fatalf("materialized Run: %v", err)
+			}
+			str := baseConfig(t, nil, tc.pol())
+			str.BinWidth = 80
+			str.Trace = nil
+			str.Contacts = tr.Source()
+			got, err := Run(str)
+			if err != nil {
+				t.Fatalf("streaming Run: %v", err)
+			}
+			if got.Digest() != want.Digest() {
+				t.Errorf("digest mismatch: streaming %#x != materialized %#x", got.Digest(), want.Digest())
+			}
+		})
+	}
+}
+
+// fusedConfig wires a fused generate+simulate run: the contact stream is
+// drawn lazily inside Run, never materialized.
+func fusedConfig(t *testing.T, nodes int, mu, duration float64, seed uint64) Config {
+	t.Helper()
+	src, err := contact.NewHomogeneousStream(nodes, mu, duration, newRNG(seed))
+	if err != nil {
+		t.Fatalf("NewHomogeneousStream: %v", err)
+	}
+	return Config{
+		Rho:      3,
+		Utility:  utility.Step{Tau: 10},
+		Pop:      demand.Pareto(10, 1, 2),
+		Contacts: src,
+		Policy: &core.QCR{
+			Reaction:       core.TunedReaction(utility.Step{Tau: 10}, mu, nodes, 1),
+			MandateRouting: true,
+			StrictSource:   true,
+			Seed:           7,
+		},
+		Seed: 1,
+	}
+}
+
+// TestStreamFusedGolden pins the fused path's own determinism: the
+// streaming generator has its own RNG stream (distinct from the legacy
+// materialized generator — see internal/contact), so it carries its own
+// golden digest. Same seed → same digest, run to run and release to
+// release.
+func TestStreamFusedGolden(t *testing.T) {
+	const want = uint64(0x6c2f20f2868459a1)
+	run := func() uint64 {
+		res, err := Run(fusedConfig(t, 12, 0.05, 800, 9))
+		if err != nil {
+			t.Fatalf("fused Run: %v", err)
+		}
+		return res.Digest()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("fused run not deterministic: %#x vs %#x", a, b)
+	}
+	if a != want {
+		t.Errorf("fused golden digest %#x, want %#x (streaming RNG contract changed)", a, want)
+	}
+}
+
+// TestStreamRejectsBadSources: dimension and ordering violations surface
+// as errors, not silent corruption.
+func TestStreamRejectsBadSources(t *testing.T) {
+	good := fusedConfig(t, 12, 0.05, 800, 9)
+
+	both := good
+	both.Trace = smallTrace(t, 12, 0.05, 100, 1)
+	if _, err := Run(both); err == nil {
+		t.Error("config with both Trace and Contacts accepted")
+	}
+
+	tiny := good
+	tiny.Contacts = (&trace.Trace{Nodes: 1, Duration: 100}).Source()
+	if _, err := Run(tiny); err == nil {
+		t.Error("1-node source accepted")
+	}
+
+	// Out-of-order and out-of-range streams must fail mid-run: the
+	// adapter yields the raw slice, so sim's per-contact check is the
+	// only guard.
+	disordered := good
+	disordered.Contacts = (&trace.Trace{Nodes: 4, Duration: 100, Contacts: []trace.Contact{
+		{T: 50, A: 0, B: 1}, {T: 10, A: 1, B: 2},
+	}}).Source()
+	if _, err := Run(disordered); err == nil {
+		t.Error("out-of-order stream accepted")
+	}
+
+	outOfRange := good
+	outOfRange.Contacts = (&trace.Trace{Nodes: 4, Duration: 100, Contacts: []trace.Contact{
+		{T: 10, A: 0, B: 9},
+	}}).Source()
+	if _, err := Run(outOfRange); err == nil {
+		t.Error("out-of-range endpoint accepted")
+	}
+}
+
+// TestStepZeroAllocSteadyState is the allocation regression test behind
+// the fused pipeline's throughput claim: once every (node, item) request
+// queue has been touched, the per-contact hot path — arrival drain,
+// meeting, fulfillment, bookkeeping — runs without heap allocation, so
+// streamed runs of any length keep a flat memory profile.
+func TestStepZeroAllocSteadyState(t *testing.T) {
+	const (
+		nodes    = 8
+		items    = 6
+		duration = 1e12
+		dt       = 0.01
+	)
+	cfg := Config{
+		Rho:        3,
+		Utility:    utility.Step{Tau: 10},
+		Pop:        demand.Pareto(items, 1, 2),
+		Contacts:   (&trace.Trace{Nodes: nodes, Duration: duration}).Source(),
+		Policy:     core.Static{Label: "uni"},
+		Seed:       5,
+		WarmupFrac: -1,
+	}
+	r, err := newRunner(&cfg)
+	if err != nil {
+		t.Fatalf("newRunner: %v", err)
+	}
+	// Cycle through every pair so all request queues and outstanding-item
+	// lists reach their steady-state capacity during warmup.
+	var pairs []trace.Contact
+	for a := 0; a < nodes; a++ {
+		for b := a + 1; b < nodes; b++ {
+			pairs = append(pairs, trace.Contact{A: a, B: b})
+		}
+	}
+	now, pi := 0.0, 0
+	stepOne := func() {
+		c := pairs[pi]
+		pi = (pi + 1) % len(pairs)
+		now += dt
+		c.T = now
+		if err := r.step(c); err != nil {
+			t.Fatalf("step: %v", err)
+		}
+	}
+	for i := 0; i < 50000; i++ {
+		stepOne()
+	}
+	// Not exactly 0.0: a request queue whose depth exceeds anything seen
+	// in warmup can still grow once. The bound catches any systematic
+	// per-contact allocation while tolerating such one-offs.
+	if avg := testing.AllocsPerRun(20000, stepOne); avg > 0.01 {
+		t.Errorf("steady-state step allocates %.4f objects/contact, want 0", avg)
+	}
+}

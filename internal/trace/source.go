@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+)
+
+// Source streams a contact trace in time order without requiring it to be
+// materialized: Next returns the next contact until the source is
+// exhausted. It is the simulator's input seam — a materialized Trace, a
+// lazily drawn synthetic contact process, and a trace file on disk all
+// satisfy it, so experiments scale past the point where the full
+// ~N²·µ·T contact list fits in memory.
+//
+// Contract: Nodes and Duration are fixed for the life of the source;
+// contacts come with non-decreasing T in [0, Duration], endpoints in
+// [0, Nodes) with A ≠ B. Sources that can fail mid-stream (I/O, parse
+// errors) additionally implement ErrSource; consumers check Err after
+// Next returns false. A Source is single-use: once drained it stays
+// drained.
+type Source interface {
+	Nodes() int
+	Duration() float64
+	Next() (Contact, bool)
+}
+
+// ErrSource is implemented by sources whose stream can fail underway
+// (file-backed sources). Err returns nil after a clean end of stream.
+type ErrSource interface {
+	Source
+	Err() error
+}
+
+// SliceSource adapts a materialized Trace to the Source interface. It
+// yields the contact slice in order, so a simulation driven through the
+// adapter is bit-identical to one iterating the slice directly.
+type SliceSource struct {
+	tr *Trace
+	i  int
+}
+
+// Source returns a fresh streaming view over the trace.
+func (tr *Trace) Source() *SliceSource { return &SliceSource{tr: tr} }
+
+// Nodes implements Source.
+func (s *SliceSource) Nodes() int { return s.tr.Nodes }
+
+// Duration implements Source.
+func (s *SliceSource) Duration() float64 { return s.tr.Duration }
+
+// Next implements Source.
+func (s *SliceSource) Next() (Contact, bool) {
+	if s.i >= len(s.tr.Contacts) {
+		return Contact{}, false
+	}
+	c := s.tr.Contacts[s.i]
+	s.i++
+	return c, true
+}
+
+// Collect drains a source into a materialized, validated Trace. It is the
+// inverse of Trace.Source, meant for tests and for feeding streamed
+// contacts to consumers that need random access (empirical statistics).
+// Collecting reintroduces the O(#contacts) memory the streaming pipeline
+// avoids — do not use it on production-scale sources.
+func Collect(src Source) (*Trace, error) {
+	tr := &Trace{Nodes: src.Nodes(), Duration: src.Duration()}
+	for {
+		c, ok := src.Next()
+		if !ok {
+			break
+		}
+		tr.Contacts = append(tr.Contacts, c)
+	}
+	if es, ok := src.(ErrSource); ok {
+		if err := es.Err(); err != nil {
+			return nil, err
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// pairRowStart returns the dense index of pair (a, a+1): the first entry
+// of row a in the PairIndex layout.
+func pairRowStart(nodes, a int) int { return a * (2*nodes - a - 1) / 2 }
+
+// PairFromIndex inverts PairIndex in O(1): it recovers the unordered pair
+// (a, b), a < b, from its dense index. The streaming generators use it to
+// avoid materializing the idx → (a, b) lookup tables, which at production
+// scale cost O(N²) memory on their own (200 MB at N = 5000). The float
+// estimate of the row is corrected by at most one step, so the result is
+// exact for every index the rate matrices can hold.
+func PairFromIndex(nodes, idx int) (int, int) {
+	// Row a is the largest a with rowStart(a) ≤ idx; rowStart is the
+	// quadratic a(2n-a-1)/2, inverted with the stable (subtraction-free
+	// under the radical) branch of the quadratic formula.
+	m := float64(2*nodes - 1)
+	a := int((m - math.Sqrt(m*m-8*float64(idx))) / 2)
+	if a < 0 {
+		a = 0
+	}
+	for a > 0 && pairRowStart(nodes, a) > idx {
+		a--
+	}
+	for a+1 < nodes-1 && pairRowStart(nodes, a+1) <= idx {
+		a++
+	}
+	b := idx - pairRowStart(nodes, a) + a + 1
+	return a, b
+}
+
+// CheckStreamContact is the per-contact counterpart of Trace.Validate
+// for streamed contacts, shared by the file-backed source and the
+// simulator's streaming path (a stream cannot be validated up front).
+func CheckStreamContact(c Contact, prevT float64, nodes int, duration float64) error {
+	if c.T < prevT {
+		return fmt.Errorf("%w: contact at t=%g after t=%g (stream out of order)", ErrInvalid, c.T, prevT)
+	}
+	if c.T < 0 || c.T > duration {
+		return fmt.Errorf("%w: contact at t=%g outside [0,%g]", ErrInvalid, c.T, duration)
+	}
+	if c.A < 0 || c.A >= nodes || c.B < 0 || c.B >= nodes || c.A == c.B {
+		return fmt.Errorf("%w: contact has bad endpoints (%d,%d)", ErrInvalid, c.A, c.B)
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// StreamReader reads the text trace format (see io.go) incrementally: the
+// header is parsed up front, contacts are parsed one Next at a time, and
+// the whole-file contact slice is never built. Streaming adds one
+// constraint over Read: contacts must already be in time order (Read
+// sorts after the fact; a stream cannot). Each contact is normalized
+// (A < B) and validated as it is produced; a malformed or out-of-order
+// line ends the stream with the error available from Err.
+type StreamReader struct {
+	sc       *bufio.Scanner
+	closer   io.Closer
+	nodes    int
+	duration float64
+	lineNo   int
+	prevT    float64
+	err      error
+	done     bool
+}
+
+// NewStreamReader parses the header (nodes and duration lines, which must
+// precede the first contact) and returns a source streaming the rest.
+func NewStreamReader(r io.Reader) (*StreamReader, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	s := &StreamReader{sc: sc}
+	for s.nodes == 0 || s.duration == 0 {
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				return nil, err
+			}
+			return nil, fmt.Errorf("%w: stream ended before nodes/duration header", ErrInvalid)
+		}
+		s.lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch {
+		case fields[0] == "nodes" && len(fields) == 2:
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("trace: line %d: bad node count %q", s.lineNo, fields[1])
+			}
+			s.nodes = n
+		case fields[0] == "duration" && len(fields) == 2:
+			d, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("trace: line %d: bad duration %q", s.lineNo, fields[1])
+			}
+			s.duration = d
+		default:
+			return nil, fmt.Errorf("%w: line %d: contact before nodes/duration header", ErrInvalid, s.lineNo)
+		}
+	}
+	return s, nil
+}
+
+// OpenStream opens a trace file as a streaming source. Close releases the
+// file; Err reports any mid-stream failure after Next returns false.
+func OpenStream(path string) (*StreamReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := NewStreamReader(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	s.closer = f
+	return s, nil
+}
+
+// Nodes implements Source.
+func (s *StreamReader) Nodes() int { return s.nodes }
+
+// Duration implements Source.
+func (s *StreamReader) Duration() float64 { return s.duration }
+
+// Err implements ErrSource.
+func (s *StreamReader) Err() error { return s.err }
+
+// Close closes the underlying file (no-op for reader-backed streams).
+func (s *StreamReader) Close() error {
+	s.done = true
+	if s.closer == nil {
+		return nil
+	}
+	c := s.closer
+	s.closer = nil
+	return c.Close()
+}
+
+// fail ends the stream with an error.
+func (s *StreamReader) fail(err error) (Contact, bool) {
+	s.err = err
+	s.done = true
+	return Contact{}, false
+}
+
+// Next implements Source.
+func (s *StreamReader) Next() (Contact, bool) {
+	if s.done {
+		return Contact{}, false
+	}
+	for s.sc.Scan() {
+		s.lineNo++
+		line := strings.TrimSpace(s.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return s.fail(fmt.Errorf("trace: line %d: unrecognized line %q", s.lineNo, line))
+		}
+		t, err1 := strconv.ParseFloat(fields[0], 64)
+		a, err2 := strconv.Atoi(fields[1])
+		b, err3 := strconv.Atoi(fields[2])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return s.fail(fmt.Errorf("trace: line %d: bad contact %q", s.lineNo, line))
+		}
+		c := Contact{T: t, A: a, B: b}
+		if c.A > c.B {
+			c.A, c.B = c.B, c.A
+		}
+		if err := CheckStreamContact(c, s.prevT, s.nodes, s.duration); err != nil {
+			return s.fail(fmt.Errorf("line %d: %w", s.lineNo, err))
+		}
+		s.prevT = c.T
+		return c, true
+	}
+	s.done = true
+	if err := s.sc.Err(); err != nil {
+		s.err = err
+	}
+	return Contact{}, false
+}
