@@ -1,0 +1,53 @@
+// Package examples_test smoke-tests every runnable example: each must
+// build, exit 0 and print something. The examples double as the
+// library's user-facing documentation, so a broken one is a broken API
+// promise even when the internal tests are green.
+package examples_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example binaries in -short mode")
+	}
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gobin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go tool not on PATH: %v", err)
+	}
+	root, err := filepath.Abs("..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			cmd := exec.Command(gobin, "run", "./examples/"+name)
+			cmd.Dir = root
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s: %v\n%s", name, err, out)
+			}
+			if len(strings.TrimSpace(string(out))) == 0 {
+				t.Errorf("example %s printed nothing", name)
+			}
+		})
+		ran++
+	}
+	if ran == 0 {
+		t.Fatal("no example directories found")
+	}
+}

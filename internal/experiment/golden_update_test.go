@@ -1,0 +1,79 @@
+package experiment
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"impatience/internal/parallel"
+)
+
+// -update regenerates the pinned digests under testdata/ instead of
+// comparing against them. Use after an INTENDED behavior change:
+//
+//	go test ./internal/experiment -run TestGoldenDigestsPinned -update
+//
+// and commit the refreshed testdata/golden_digests.json alongside the
+// change that moved the digests, with the reason in the commit message.
+var update = flag.Bool("update", false, "rewrite testdata golden digests instead of comparing")
+
+const goldenPath = "testdata/golden_digests.json"
+
+// TestGoldenDigestsPinned is the cross-release behavior pin: the combined
+// per-family simulation digests must equal the committed values, so ANY
+// change to simulator behavior, RNG consumption order, scheme
+// construction or trace synthesis is caught — not just worker-count
+// dependence (which TestGoldenDigestsWorkerInvariance covers).
+func TestGoldenDigestsPinned(t *testing.T) {
+	sc := goldenScenario()
+	got := make(map[string]string)
+	for _, fam := range goldenFamilies() {
+		out, err := parallel.RunTrials(sc.Trials, 1, sc.Seed, fam.run)
+		if err != nil {
+			t.Fatalf("%s: %v", fam.name, err)
+		}
+		var acc uint64
+		for _, d := range out {
+			acc = mixDigest(acc, d)
+		}
+		got[fam.name] = fmt.Sprintf("%#016x", acc)
+	}
+	if *update {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenPath)
+		return
+	}
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read %s (regenerate with -update): %v", goldenPath, err)
+	}
+	var want map[string]string
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("parse %s: %v", goldenPath, err)
+	}
+	if len(want) != len(got) {
+		t.Errorf("%s pins %d families, test produces %d (stale file? rerun with -update)", goldenPath, len(want), len(got))
+	}
+	for name, g := range got {
+		w, ok := want[name]
+		if !ok {
+			t.Errorf("%s: no pinned digest for %q (new family? rerun with -update)", goldenPath, name)
+			continue
+		}
+		if g != w {
+			t.Errorf("%s: digest %s, pinned %s — simulation behavior changed; if intended, rerun with -update and commit", name, g, w)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package experiment
+
+import (
+	"testing"
+
+	"impatience/internal/alloc"
+	"impatience/internal/parallel"
+	"impatience/internal/utility"
+)
+
+// TestRunStaticStream exercises the oracle's simulation hook directly:
+// deterministic in (trial, seed), observer-only instrumentation, and the
+// scenario's closed-form system agreeing with the config it simulates.
+func TestRunStaticStream(t *testing.T) {
+	sc := Default()
+	sc.Nodes = 16
+	sc.Items = 8
+	sc.Rho = 2
+	sc.Duration = 300
+	u := utility.Step{Tau: 5}
+	initial := alloc.Uniform(sc.Items, sc.Nodes, sc.Rho)
+	seed := parallel.TrialSeed(sc.Seed, 0)
+
+	plain, err := sc.RunStaticStream(u, initial, 0, seed, false)
+	if err != nil {
+		t.Fatalf("RunStaticStream: %v", err)
+	}
+	if plain.ItemDelays != nil {
+		t.Error("instrumentation populated without recordDelays")
+	}
+	rec, err := sc.RunStaticStream(u, initial, 0, seed, true)
+	if err != nil {
+		t.Fatalf("RunStaticStream (recording): %v", err)
+	}
+	if rec.Digest() != plain.Digest() {
+		t.Errorf("recordDelays changed the digest: %#x != %#x", rec.Digest(), plain.Digest())
+	}
+	if len(rec.ItemDelays) != sc.Items || len(rec.ItemGains) != sc.Items {
+		t.Fatalf("instrumentation sized %d/%d, want %d", len(rec.ItemDelays), len(rec.ItemGains), sc.Items)
+	}
+	total := 0
+	for _, f := range rec.ItemFulfillments {
+		total += f
+	}
+	if total != rec.Fulfillments {
+		t.Errorf("Σ ItemFulfillments = %d, Fulfillments = %d", total, rec.Fulfillments)
+	}
+
+	// Different trial index → different simulator streams, same contacts.
+	other, err := sc.RunStaticStream(u, initial, 1, seed, false)
+	if err != nil {
+		t.Fatalf("RunStaticStream (trial 1): %v", err)
+	}
+	if other.Digest() == plain.Digest() {
+		t.Error("distinct trials produced identical digests")
+	}
+}
+
+// TestScenarioHomogeneous pins the analytic hook: the closed-form system
+// must mirror the scenario exactly (pure P2P, same µ, |S| = |C| = nodes,
+// scenario popularity), so oracle and simulator can never drift apart.
+func TestScenarioHomogeneous(t *testing.T) {
+	sc := Default()
+	u := utility.Step{Tau: 5}
+	h := sc.Homogeneous(u)
+	if !h.PureP2P {
+		t.Error("scenario system is not pure P2P")
+	}
+	if h.Servers != sc.Nodes || h.Clients != sc.Nodes {
+		t.Errorf("servers/clients = %d/%d, want %d", h.Servers, h.Clients, sc.Nodes)
+	}
+	if h.Mu != sc.Mu {
+		t.Errorf("µ = %g, want %g", h.Mu, sc.Mu)
+	}
+	want := sc.Pop()
+	if len(h.Pop.Rates) != len(want.Rates) {
+		t.Fatalf("popularity has %d items, want %d", len(h.Pop.Rates), len(want.Rates))
+	}
+	for i := range want.Rates {
+		if h.Pop.Rates[i] != want.Rates[i] {
+			t.Fatalf("popularity rate %d = %g, want %g", i, h.Pop.Rates[i], want.Rates[i])
+		}
+	}
+	if err := h.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}

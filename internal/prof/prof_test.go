@@ -1,0 +1,100 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestStartWritesProfiles covers the happy path: both profiles requested,
+// both files non-empty after stop.
+func TestStartWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	stop, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	// Burn a little CPU so the profile has something to sample.
+	x := 0.0
+	for i := 0; i < 1_000_00; i++ {
+		x += float64(i) * 1.0000001
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+// TestStartNoop: both paths empty is a supported no-op.
+func TestStartNoop(t *testing.T) {
+	stop, err := Start("", "")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Errorf("no-op stop: %v", err)
+	}
+}
+
+// TestStartUnwritableCPUPath: an unwritable CPU path must surface as an
+// error from Start itself, before any profiling begins.
+func TestStartUnwritableCPUPath(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.out")
+	if _, err := Start(bad, ""); err == nil {
+		t.Fatal("Start succeeded with unwritable CPU path")
+	}
+}
+
+// TestStopUnwritableMemPath: an unwritable heap path is only touched at
+// stop time, so Start succeeds and stop reports the error.
+func TestStopUnwritableMemPath(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "no", "such", "dir", "mem.out")
+	stop, err := Start("", bad)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := stop(); err == nil {
+		t.Fatal("stop succeeded with unwritable heap path")
+	}
+}
+
+// TestStopIdempotent: calling stop twice must not double-close the CPU
+// profile file or rewrite the heap profile.
+func TestStopIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	stop, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("first stop: %v", err)
+	}
+	fi, err := os.Stat(mem)
+	if err != nil {
+		t.Fatalf("heap profile: %v", err)
+	}
+	size := fi.Size()
+	if err := stop(); err != nil {
+		t.Errorf("second stop: %v", err)
+	}
+	fi, err = os.Stat(mem)
+	if err != nil {
+		t.Fatalf("heap profile after second stop: %v", err)
+	}
+	if fi.Size() != size {
+		t.Errorf("second stop rewrote the heap profile (%d → %d bytes)", size, fi.Size())
+	}
+}

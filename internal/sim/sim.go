@@ -86,6 +86,16 @@ type Config struct {
 	// RecordCounts additionally snapshots the full per-item replica
 	// counts at every bin boundary (needed for Figure 3c/3d).
 	RecordCounts bool
+	// RecordDelays collects per-item conformance instrumentation after
+	// warmup: the fulfillment-delay samples (ItemDelays, one slice per
+	// item, 0 for immediate local fulfillments), the per-item realized
+	// gain (ItemGains) and fulfillment counts (ItemFulfillments). The
+	// theory-vs-simulation oracle (internal/oracle) KS-tests the delay
+	// samples against the exponential meeting model and checks the
+	// per-item gain rates against the closed-form welfare terms. The new
+	// Result fields are deliberately excluded from Result.Digest, so
+	// enabling them cannot move any golden.
+	RecordDelays bool
 
 	// DemandSwitch, if non-nil, replaces the popularity at time
 	// DemandSwitchTime (the dynamic-demand extension).
@@ -141,7 +151,17 @@ type Result struct {
 	// requests wiped by node crashes (already included in TotalGain).
 	OutstandingCost float64
 	Bins            []Bin
-	Overhead        Overhead
+	// ItemDelays, ItemGains and ItemFulfillments are the per-item
+	// conformance instrumentation collected after warmup when
+	// Config.RecordDelays is set (nil otherwise): fulfillment-delay
+	// samples (0 for immediate local fulfillments), summed realized gain
+	// and fulfillment counts, indexed by item. They are NOT part of
+	// Result.Digest — the digest-stability regression test pins that
+	// enabling them leaves every golden digest untouched.
+	ItemDelays       [][]float64
+	ItemGains        []float64
+	ItemFulfillments []int
+	Overhead         Overhead
 	// Faults tallies injected faults and hardening reactions; nil when
 	// fault injection is disabled.
 	Faults *faults.Tally
@@ -557,6 +577,11 @@ func newRunner(cfg *Config) (*runner, error) {
 		MeasureStart: cfg.WarmupFrac * duration,
 		FinalCounts:  make(alloc.Counts, items),
 	}
+	if cfg.RecordDelays {
+		res.ItemDelays = make([][]float64, items)
+		res.ItemGains = make([]float64, items)
+		res.ItemFulfillments = make([]int, items)
+	}
 	r := &runner{
 		cfg:      cfg,
 		s:        s,
@@ -595,8 +620,9 @@ func (r *runner) flushTo(t float64) {
 	}
 }
 
-// record books one fulfillment.
-func (r *runner) record(t, gain float64, immediate bool) {
+// record books one fulfillment of item with the given delay (0 for an
+// immediate local fulfillment).
+func (r *runner) record(t, gain float64, item int, delay float64, immediate bool) {
 	r.totalFulfilled++
 	if immediate {
 		r.totalImmediate++
@@ -612,6 +638,11 @@ func (r *runner) record(t, gain float64, immediate bool) {
 		if immediate {
 			r.res.Immediate++
 		}
+		if r.cfg.RecordDelays {
+			r.res.ItemDelays[item] = append(r.res.ItemDelays[item], delay)
+			r.res.ItemGains[item] += gain
+			r.res.ItemFulfillments[item]++
+		}
 	}
 }
 
@@ -625,7 +656,7 @@ func (r *runner) handleArrival(rq demand.Request) {
 	}
 	if s.Has(rq.Node, rq.Item) {
 		// Pure P2P immediate fulfillment from the local cache.
-		r.record(rq.T, s.utilityFor(rq.Item).H0(), true)
+		r.record(rq.T, s.utilityFor(rq.Item).H0(), rq.Item, 0, true)
 		if s.inj != nil && !r.cfg.NoSticky && s.stickyN[rq.Item] < 0 {
 			s.reseed(rq.Node, rq.Item)
 		}
@@ -659,7 +690,7 @@ func (r *runner) fulfillSide(n, peer int, t float64) {
 			for _, rq := range pending {
 				q := rq.queries + 1
 				age := t - rq.t0
-				r.record(t, s.utilityFor(item).H(age), false)
+				r.record(t, s.utilityFor(item).H(age), item, age, false)
 				r.cfg.Policy.OnFulfill(s, n, peer, item, q, age, t)
 			}
 			if s.inj != nil && !s.cfg.NoSticky && s.stickyN[item] < 0 {

@@ -1,0 +1,175 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestNormalQuantile(t *testing.T) {
+	// Reference values from standard normal tables.
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959963984540054},
+		{0.995, 2.575829303548901},
+		{0.9995, 3.290526731491926},
+		{0.025, -1.959963984540054},
+		{0.001, -3.090232306167813},
+	}
+	for _, tc := range cases {
+		if got := NormalQuantile(tc.p); math.Abs(got-tc.want) > 1e-7 {
+			t.Errorf("NormalQuantile(%g) = %.9f, want %.9f", tc.p, got, tc.want)
+		}
+	}
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Error("NormalQuantile endpoints not ±Inf")
+	}
+	if !math.IsNaN(NormalQuantile(-0.1)) || !math.IsNaN(NormalQuantile(1.1)) {
+		t.Error("NormalQuantile outside [0,1] not NaN")
+	}
+}
+
+func TestTQuantile(t *testing.T) {
+	// Reference values from t tables (two-sided 95% → p = 0.975).
+	cases := []struct {
+		p, df, want, tol float64
+	}{
+		{0.975, 2, 4.302653, 2e-2},
+		{0.975, 5, 2.570582, 2e-3},
+		{0.975, 10, 2.228139, 5e-4},
+		{0.975, 30, 2.042272, 1e-4},
+		{0.995, 10, 3.169273, 5e-3},
+		{0.995, 20, 2.845340, 5e-4},
+	}
+	for _, tc := range cases {
+		if got := TQuantile(tc.p, tc.df); math.Abs(got-tc.want) > tc.tol {
+			t.Errorf("TQuantile(%g, %g) = %.6f, want %.6f ± %g", tc.p, tc.df, got, tc.want, tc.tol)
+		}
+	}
+	if got := TQuantile(0.5, 7); got != 0 {
+		t.Errorf("TQuantile median = %g, want 0", got)
+	}
+	if !math.IsNaN(TQuantile(0.9, 0)) {
+		t.Error("TQuantile with df=0 not NaN")
+	}
+}
+
+func TestMeanCI(t *testing.T) {
+	xs := []float64{4.9, 5.1, 5.0, 4.8, 5.2}
+	iv := MeanCI(xs, 0.95)
+	if math.Abs(iv.Center-5.0) > 1e-12 {
+		t.Errorf("center %g, want 5", iv.Center)
+	}
+	// s = sqrt(0.025), halfwidth = t_{0.975,4}·s/√5 ≈ 2.7764·0.1581/2.2361.
+	want := 2.776445 * math.Sqrt(0.025) / math.Sqrt(5)
+	if math.Abs(iv.Halfwidth-want) > 1e-2*want {
+		t.Errorf("halfwidth %g, want ≈ %g", iv.Halfwidth, want)
+	}
+	if !iv.Contains(5.0) || iv.Contains(6.0) {
+		t.Error("Contains misbehaves")
+	}
+	if got := MeanCI([]float64{1}, 0.95); !math.IsInf(got.Halfwidth, 1) {
+		t.Error("single observation should give infinite halfwidth")
+	}
+}
+
+func TestWelchCI(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 13))
+	a := make([]float64, 200)
+	b := make([]float64, 150)
+	for i := range a {
+		a[i] = 3 + rng.NormFloat64()
+	}
+	for i := range b {
+		b[i] = 1 + 2*rng.NormFloat64()
+	}
+	iv := WelchCI(a, b, 0.99)
+	if !iv.Contains(2) {
+		t.Errorf("true difference 2 outside %v", iv)
+	}
+	if iv.Contains(0) {
+		t.Errorf("zero difference inside %v despite a 2σ-scale gap", iv)
+	}
+	if iv.DF < 150 || iv.DF > 350 {
+		t.Errorf("Welch df %g implausible for n=200/150", iv.DF)
+	}
+	// Identical degenerate samples: zero-width interval, no NaN.
+	c := []float64{2, 2, 2}
+	iv = WelchCI(c, c, 0.95)
+	if iv.Halfwidth != 0 || iv.Center != 0 {
+		t.Errorf("degenerate Welch interval %v", iv)
+	}
+}
+
+// TestWelchCICoverage checks empirical coverage: across repeated draws of
+// two same-mean samples, the 95% interval should contain 0 close to 95%
+// of the time.
+func TestWelchCICoverage(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 9))
+	const reps = 2000
+	hits := 0
+	a := make([]float64, 20)
+	b := make([]float64, 25)
+	for r := 0; r < reps; r++ {
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		for i := range b {
+			b[i] = 3 * rng.NormFloat64()
+		}
+		if WelchCI(a, b, 0.95).Contains(0) {
+			hits++
+		}
+	}
+	cov := float64(hits) / reps
+	if cov < 0.93 || cov > 0.97 {
+		t.Errorf("empirical coverage %.3f, want ≈ 0.95", cov)
+	}
+}
+
+func TestKSExponential(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 5))
+	const n = 4000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64() / 0.7
+	}
+	d := KSExponential(xs, 0.7)
+	if crit := KSCritical(0.001, n); d > crit {
+		t.Errorf("KS %.4f exceeds critical %.4f for true Exp(0.7) samples", d, crit)
+	}
+	// Wrong rate by 2×: must be detected overwhelmingly.
+	if d := KSExponential(xs, 1.4); d < KSCritical(0.001, n) {
+		t.Errorf("KS %.4f fails to reject rate misspecified by 2×", d)
+	}
+}
+
+func TestKSStatisticUniform(t *testing.T) {
+	// Deterministic check: perfectly spaced uniform samples have D = 1/(2n)
+	// against U(0,1) when placed at bin midpoints.
+	n := 100
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = (float64(i) + 0.5) / float64(n)
+	}
+	d := KSStatistic(xs, func(x float64) float64 { return x })
+	if math.Abs(d-1/(2*float64(n))) > 1e-12 {
+		t.Errorf("midpoint uniform D = %g, want %g", d, 1/(2*float64(n)))
+	}
+	if !math.IsNaN(KSStatistic(nil, func(x float64) float64 { return x })) {
+		t.Error("empty sample should give NaN")
+	}
+}
+
+func TestKSCritical(t *testing.T) {
+	// The asymptotic 99.9% Kolmogorov quantile is ≈ 1.9495; the existing
+	// contact-stream tests use 1.95/√n, so KSCritical must agree closely.
+	got := KSCritical(0.001, 10000)
+	want := 1.9495 / math.Sqrt(10000)
+	if math.Abs(got-want) > 0.02*want {
+		t.Errorf("KSCritical(0.001, 1e4) = %g, want ≈ %g", got, want)
+	}
+	if !math.IsNaN(KSCritical(0, 10)) || !math.IsNaN(KSCritical(0.5, 0)) {
+		t.Error("invalid arguments should give NaN")
+	}
+}
