@@ -1,0 +1,138 @@
+package main
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"impatience/internal/experiment"
+	"impatience/internal/utility"
+)
+
+// pathResult measures one executor at one worker count.
+type pathResult struct {
+	Iterations  int   `json:"iterations"`
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+}
+
+// batchEntry compares the sequential executor (materialize each trial's
+// trace, simulate the schemes one at a time) against the batch executor
+// (step every scheme in lockstep over one shared contact stream) on the
+// identical workload at one worker count.
+type batchEntry struct {
+	Workers    int        `json:"workers"`
+	Sequential pathResult `json:"sequential"`
+	Batch      pathResult `json:"batch"`
+	// NsRatio/BytesRatio/AllocsRatio are sequential over batch: > 1
+	// means the batch executor wins.
+	NsRatio     float64 `json:"ns_ratio"`
+	BytesRatio  float64 `json:"bytes_ratio"`
+	AllocsRatio float64 `json:"allocs_ratio"`
+	// ResultsMatch records that both executors produced exactly equal
+	// comparison outputs (per-scheme utilities, losses, bands) at this
+	// worker count. The benchmark fails hard when it is false.
+	ResultsMatch bool `json:"results_match"`
+}
+
+type batchReport struct {
+	Benchmark string `json:"benchmark"`
+	provenance
+	scenarioParams
+	Results []batchEntry `json:"results"`
+}
+
+// measurePath benchmarks one executor and reports its per-op stats.
+func measurePath(run func() error) (pathResult, error) {
+	var benchErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := run(); err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+		}
+	})
+	if benchErr != nil {
+		return pathResult{}, benchErr
+	}
+	if r.N == 0 {
+		return pathResult{}, fmt.Errorf("benchmark did not run")
+	}
+	return pathResult{
+		Iterations:  r.N,
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}, nil
+}
+
+// runBatch runs the BatchVsSequential ladder and writes BENCH_batch.json.
+// Besides the timing/allocation comparison it is the executor-equivalence
+// smoke check CI relies on: at every worker count both paths must produce
+// exactly equal comparison outputs, or the run exits nonzero.
+func runBatch(short bool, workers int, out string) error {
+	sc := scenario(short)
+	schemes := []string{experiment.SchemeQCR, experiment.SchemeOPT, experiment.SchemeUNI}
+	u := utility.Step{Tau: 10}
+	report := batchReport{
+		Benchmark:      "BatchVsSequential/RunComparison",
+		provenance:     stamp(short),
+		scenarioParams: paramsOf(sc, schemes),
+	}
+
+	for _, w := range ladder(workers) {
+		scw := sc
+		scw.Workers = w
+
+		// The equivalence check first: both executors consume the same
+		// per-trial contact sequence (HomogeneousSources replays the
+		// exact RNG draws HomogeneousTraces materializes), so their
+		// outputs must be bit-identical, not merely close.
+		seqCmp, err := scw.RunComparisonSequential(u, scw.HomogeneousTraces(), schemes)
+		if err != nil {
+			return err
+		}
+		batCmp, err := scw.RunComparison(u, scw.HomogeneousSources(), schemes)
+		if err != nil {
+			return err
+		}
+		match := reflect.DeepEqual(seqCmp, batCmp)
+		if !match {
+			return fmt.Errorf("workers=%d: batch executor diverged from sequential executor:\nsequential: %+v\nbatch:      %+v", w, seqCmp, batCmp)
+		}
+
+		seq, err := measurePath(func() error {
+			_, err := scw.RunComparisonSequential(u, scw.HomogeneousTraces(), schemes)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		bat, err := measurePath(func() error {
+			_, err := scw.RunComparison(u, scw.HomogeneousSources(), schemes)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+
+		e := batchEntry{Workers: w, Sequential: seq, Batch: bat, ResultsMatch: match}
+		if bat.NsPerOp > 0 {
+			e.NsRatio = float64(seq.NsPerOp) / float64(bat.NsPerOp)
+		}
+		if bat.BytesPerOp > 0 {
+			e.BytesRatio = float64(seq.BytesPerOp) / float64(bat.BytesPerOp)
+		}
+		if bat.AllocsPerOp > 0 {
+			e.AllocsRatio = float64(seq.AllocsPerOp) / float64(bat.AllocsPerOp)
+		}
+		report.Results = append(report.Results, e)
+		fmt.Printf("batch   workers=%d  sequential %12d ns/op %12d B/op  batch %12d ns/op %12d B/op  (%.2fx faster, %.2fx leaner, results match)\n",
+			w, seq.NsPerOp, seq.BytesPerOp, bat.NsPerOp, bat.BytesPerOp, e.NsRatio, e.BytesRatio)
+	}
+
+	return writeJSON(out, report)
+}

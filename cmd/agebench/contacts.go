@@ -1,10 +1,8 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"math/rand/v2"
-	"os"
 	"runtime"
 	"time"
 
@@ -61,12 +59,10 @@ type scaleSection struct {
 }
 
 type contactsReport struct {
-	Benchmark string          `json:"benchmark"`
-	UnixTime  int64           `json:"unix_time"`
-	GoVersion string          `json:"go_version"`
-	Short     bool            `json:"short"`
-	Ladder    []contactsEntry `json:"ladder"`
-	Scale     *scaleSection   `json:"scale"`
+	Benchmark string `json:"benchmark"`
+	provenance
+	Ladder []contactsEntry `json:"ladder"`
+	Scale  *scaleSection   `json:"scale"`
 }
 
 // measureMaterialized times one full materialized generation.
@@ -127,10 +123,8 @@ func runContacts(short bool, out string) error {
 		target = 5e5
 	}
 	report := contactsReport{
-		Benchmark: "ContactPipeline/MaterializedVsStreaming",
-		UnixTime:  time.Now().Unix(),
-		GoVersion: runtime.Version(),
-		Short:     short,
+		Benchmark:  "ContactPipeline/MaterializedVsStreaming",
+		provenance: stamp(short),
 	}
 	const mu = 0.05
 	for _, nodes := range contactLadder {
@@ -181,19 +175,5 @@ func runContacts(short bool, out string) error {
 		rep.Nodes, rep.Contacts, wall, float64(rep.PeakHeapBytes)/1e6,
 		float64(rep.MaterializedBytes)/1e6, scale.ProjectedMaterializedBytes/1e9)
 
-	f, err := os.Create(out)
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(report); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	fmt.Printf("wrote %s\n", out)
-	return nil
+	return writeJSON(out, report)
 }

@@ -1,5 +1,6 @@
-// Command agebench measures the parallel trial engine and the contact
-// pipeline, recording both as machine-readable regression artifacts.
+// Command agebench measures the parallel trial engine, the contact
+// pipeline, and the batch executor, recording each as a machine-readable
+// regression artifact.
 //
 // The trial-engine benchmark runs the scheme-comparison pipeline (trace
 // generation, QCR/OPT/UNI simulation, trial-order aggregation) at a
@@ -12,18 +13,31 @@
 // N ∈ {100, 1000, 5000}, runs the fused N = 5000 scale demo through the
 // simulator, and writes BENCH_contacts.json with ns/contact,
 // bytes/contact and the demo's peak heap versus the materialized floor.
-// CI uploads both files so regressions — in throughput, scaling, or
-// memory — are visible across commits.
+//
+// The batch benchmark (BatchVsSequential) runs the identical comparison
+// workload through both executors — the legacy sequential path that
+// materializes each trial's trace and simulates the schemes one at a
+// time, and the stream-fused batch path that steps every scheme in
+// lockstep over a single shared contact stream — verifies their outputs
+// are bit-identical, and writes BENCH_batch.json with the per-worker
+// ns/op, bytes/op and allocs/op ratios. CI uploads all three files so
+// regressions — in throughput, scaling, or memory — are visible across
+// commits.
+//
+// Every report carries the emitting commit (git rev-parse HEAD) and the
+// scenario parameters, so artifacts from different commits or workloads
+// are never compared blind.
 //
 // Determinism note: every worker count computes bit-identical results
-// (see internal/parallel), so the ladder measures scheduling overhead
+// (see internal/parallel), so the ladders measure scheduling overhead
 // and parallel speedup only, never different work.
 //
 // Usage:
 //
 //	agebench                 # full-scale measurement
 //	agebench -short          # reduced scale for CI smoke runs
-//	agebench -out bench.json # choose the output path
+//	agebench -workers 4      # measure a single worker count on every ladder
+//	agebench -out bench.json # choose the trial-engine output path
 package main
 
 import (
@@ -31,7 +45,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -43,6 +59,91 @@ import (
 // first entry must be 1 because it is the speedup baseline.
 var workerLadder = []int{1, 2, 4, 8}
 
+// provenance stamps a report with the commit and runtime that produced
+// it.
+type provenance struct {
+	GitCommit  string `json:"git_commit"`
+	UnixTime   int64  `json:"unix_time"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	Short      bool   `json:"short"`
+}
+
+// scenarioParams records the workload a report measured.
+type scenarioParams struct {
+	Trials   int      `json:"trials"`
+	Nodes    int      `json:"nodes"`
+	Items    int      `json:"items"`
+	Rho      int      `json:"rho"`
+	Mu       float64  `json:"mu"`
+	Duration float64  `json:"duration_min"`
+	Seed     uint64   `json:"seed"`
+	Schemes  []string `json:"schemes,omitempty"`
+}
+
+// gitCommit returns the HEAD commit hash, or "unknown" outside a git
+// checkout (e.g. an extracted release tarball).
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func stamp(short bool) provenance {
+	return provenance{
+		GitCommit:  gitCommit(),
+		UnixTime:   time.Now().Unix(),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Short:      short,
+	}
+}
+
+func paramsOf(sc experiment.Scenario, schemes []string) scenarioParams {
+	return scenarioParams{
+		Trials:   sc.Trials,
+		Nodes:    sc.Nodes,
+		Items:    sc.Items,
+		Rho:      sc.Rho,
+		Mu:       sc.Mu,
+		Duration: sc.Duration,
+		Seed:     sc.Seed,
+		Schemes:  schemes,
+	}
+}
+
+// ladder returns the worker counts to measure: the full ladder, or the
+// single count selected with -workers.
+func ladder(workers int) []int {
+	if workers > 0 {
+		return []int{workers}
+	}
+	return workerLadder
+}
+
+// writeJSON writes a report with stable indentation.
+func writeJSON(out string, report any) error {
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
 type benchResult struct {
 	Workers         int     `json:"workers"`
 	Iterations      int     `json:"iterations"`
@@ -53,35 +154,38 @@ type benchResult struct {
 }
 
 type benchReport struct {
-	Benchmark  string        `json:"benchmark"`
-	UnixTime   int64         `json:"unix_time"`
-	GoVersion  string        `json:"go_version"`
-	GOMAXPROCS int           `json:"gomaxprocs"`
-	NumCPU     int           `json:"num_cpu"`
-	Short      bool          `json:"short"`
-	Trials     int           `json:"trials"`
-	Nodes      int           `json:"nodes"`
-	Items      int           `json:"items"`
-	Duration   float64       `json:"duration_min"`
-	Results    []benchResult `json:"results"`
+	Benchmark string `json:"benchmark"`
+	provenance
+	scenarioParams
+	Results []benchResult `json:"results"`
 }
 
 func main() {
 	short := flag.Bool("short", false, "reduced scale (CI smoke run)")
+	workers := flag.Int("workers", 0, "measure only this worker count on every ladder (0 = full ladder)")
 	out := flag.String("out", "BENCH_trials.json", "output path for the trial-engine JSON report")
 	contactsOut := flag.String("contacts-out", "BENCH_contacts.json", "output path for the contact-pipeline JSON report (empty = skip)")
+	batchOut := flag.String("batch-out", "BENCH_batch.json", "output path for the batch-vs-sequential JSON report (empty = skip)")
 	trialsOnly := flag.Bool("trials-only", false, "run only the trial-engine benchmark")
 	contactsOnly := flag.Bool("contacts-only", false, "run only the contact-pipeline benchmark")
+	batchOnly := flag.Bool("batch-only", false, "run only the batch-vs-sequential benchmark")
 	flag.Parse()
 
-	if !*contactsOnly {
-		if err := run(*short, *out); err != nil {
+	only := *trialsOnly || *contactsOnly || *batchOnly
+	if !only || *trialsOnly {
+		if err := run(*short, *workers, *out); err != nil {
 			fmt.Fprintln(os.Stderr, "agebench:", err)
 			os.Exit(1)
 		}
 	}
-	if !*trialsOnly && *contactsOut != "" {
+	if (!only || *contactsOnly) && *contactsOut != "" {
 		if err := runContacts(*short, *contactsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "agebench:", err)
+			os.Exit(1)
+		}
+	}
+	if (!only || *batchOnly) && *batchOut != "" {
+		if err := runBatch(*short, *workers, *batchOut); err != nil {
 			fmt.Fprintln(os.Stderr, "agebench:", err)
 			os.Exit(1)
 		}
@@ -102,32 +206,24 @@ func scenario(short bool) experiment.Scenario {
 	return sc
 }
 
-func run(short bool, out string) error {
+func run(short bool, workers int, out string) error {
 	sc := scenario(short)
 	schemes := []string{experiment.SchemeQCR, experiment.SchemeOPT, experiment.SchemeUNI}
 	report := benchReport{
-		Benchmark:  "TrialEngine/RunComparison",
-		UnixTime:   time.Now().Unix(),
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
-		Short:      short,
-		Trials:     sc.Trials,
-		Nodes:      sc.Nodes,
-		Items:      sc.Items,
-		Duration:   sc.Duration,
+		Benchmark:      "TrialEngine/RunComparison",
+		provenance:     stamp(short),
+		scenarioParams: paramsOf(sc, schemes),
 	}
 
 	var serialNs int64
-	for _, workers := range workerLadder {
-		workers := workers
+	for _, w := range ladder(workers) {
 		scw := sc
-		scw.Workers = workers
+		scw.Workers = w
 		var benchErr error
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := scw.RunComparison(utility.Step{Tau: 10}, scw.HomogeneousTraces(), schemes); err != nil {
+				if _, err := scw.RunComparison(utility.Step{Tau: 10}, scw.HomogeneousSources(), schemes); err != nil {
 					benchErr = err
 					b.FailNow()
 				}
@@ -137,14 +233,14 @@ func run(short bool, out string) error {
 			return benchErr
 		}
 		if r.N == 0 {
-			return fmt.Errorf("benchmark at %d workers did not run", workers)
+			return fmt.Errorf("benchmark at %d workers did not run", w)
 		}
 		ns := r.NsPerOp()
-		if workers == 1 {
+		if w == 1 {
 			serialNs = ns
 		}
 		res := benchResult{
-			Workers:     workers,
+			Workers:     w,
 			Iterations:  r.N,
 			NsPerOp:     ns,
 			AllocsPerOp: r.AllocsPerOp(),
@@ -155,22 +251,8 @@ func run(short bool, out string) error {
 		}
 		report.Results = append(report.Results, res)
 		fmt.Printf("workers=%d  %12d ns/op  %10d allocs/op  speedup %.2fx\n",
-			workers, ns, res.AllocsPerOp, res.SpeedupVsSerial)
+			w, ns, res.AllocsPerOp, res.SpeedupVsSerial)
 	}
 
-	f, err := os.Create(out)
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(report); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	fmt.Printf("wrote %s\n", out)
-	return nil
+	return writeJSON(out, report)
 }

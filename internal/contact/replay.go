@@ -1,0 +1,124 @@
+// ReplayStream: the streaming twin of the legacy materialized generator.
+//
+// The figure harness's golden digests pin the contact sequence Generate
+// draws — ExpFloat64 for the superposed inter-contact gap, then one
+// uniform probed through the pair CDF — so the batch executor cannot
+// switch those experiments to the alias-sampling Stream (a different RNG
+// stream means different contacts and different goldens). ReplayStream
+// closes the gap: it consumes randomness in exactly Generate's order and
+// therefore yields bit-identical contacts for the same seed, while never
+// materializing the contact list. Its state is the pair CDF plus the
+// idx → (a, b) tables — O(N²), independent of duration — and it is
+// trace.Reopenable, so one trial can be streamed twice (empirical rates,
+// then the lockstep simulation) from one value.
+package contact
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"impatience/internal/trace"
+)
+
+// ReplayStream streams the continuous-time contact process with the
+// legacy generator's sampling discipline. It implements trace.Source and
+// trace.Reopenable.
+type ReplayStream struct {
+	nodes        int
+	duration     float64
+	total        float64
+	cum          []float64 // pair CDF, built exactly like Generate's
+	pairA, pairB []int32   // dense pair index → endpoints
+	seed1, seed2 uint64
+	rng          *rand.Rand
+	t            float64
+	done         bool
+}
+
+// NewReplayStream builds a replayable streaming generator over the rate
+// matrix, drawing from rand.New(rand.NewPCG(seed1, seed2)). For equal
+// (matrix, duration, seeds) its contact sequence is bit-identical to
+// Generate's output with the same PCG — the equivalence the batch
+// digest tests pin. A zero-total matrix yields the empty process;
+// negative, NaN or infinite rates are rejected.
+func NewReplayStream(rm *trace.RateMatrix, duration float64, seed1, seed2 uint64) (*ReplayStream, error) {
+	if duration <= 0 {
+		return nil, fmt.Errorf("contact: duration %g not positive", duration)
+	}
+	total, err := validRates(rm)
+	if err != nil {
+		return nil, err
+	}
+	s := &ReplayStream{nodes: rm.Nodes, duration: duration, total: total, seed1: seed1, seed2: seed2}
+	if total <= 0 {
+		s.done = true
+		return s, nil
+	}
+	// The CDF accumulation mirrors Generate term for term: float summation
+	// order decides the exact bucket boundaries, and a boundary moved by
+	// one ulp would re-assign contacts and break bit-identity.
+	rates := rm.Rates()
+	s.cum = make([]float64, len(rates))
+	run := 0.0
+	for i, r := range rates {
+		run += r
+		s.cum[i] = run / total
+	}
+	s.cum[len(s.cum)-1] = 1
+	s.pairA = make([]int32, len(rates))
+	s.pairB = make([]int32, len(rates))
+	for a := 0; a < rm.Nodes; a++ {
+		for b := a + 1; b < rm.Nodes; b++ {
+			idx := trace.PairIndex(rm.Nodes, a, b)
+			s.pairA[idx], s.pairB[idx] = int32(a), int32(b)
+		}
+	}
+	s.rng = rand.New(rand.NewPCG(seed1, seed2))
+	return s, nil
+}
+
+// NewHomogeneousReplayStream is NewReplayStream over the homogeneous
+// setting (every pair at rate mu) — the streaming twin of
+// GenerateHomogeneous.
+func NewHomogeneousReplayStream(nodes int, mu, duration float64, seed1, seed2 uint64) (*ReplayStream, error) {
+	return NewReplayStream(trace.UniformRates(nodes, mu), duration, seed1, seed2)
+}
+
+// Nodes implements trace.Source.
+func (s *ReplayStream) Nodes() int { return s.nodes }
+
+// Duration implements trace.Source.
+func (s *ReplayStream) Duration() float64 { return s.duration }
+
+// Next implements trace.Source: one exponential gap of the superposed
+// process, one CDF probe for the pair — Generate's draws, in Generate's
+// order. Zero allocations.
+func (s *ReplayStream) Next() (trace.Contact, bool) {
+	if s.done {
+		return trace.Contact{}, false
+	}
+	s.t += s.rng.ExpFloat64() / s.total
+	if s.t > s.duration {
+		s.done = true
+		return trace.Contact{}, false
+	}
+	idx := searchCDF(s.cum, s.rng.Float64())
+	return trace.Contact{T: s.t, A: int(s.pairA[idx]), B: int(s.pairB[idx])}, true
+}
+
+// Reopen implements trace.Reopenable: the copy re-derives its RNG from
+// the recorded seeds and shares the immutable CDF and pair tables, so
+// reopening costs one small struct however large the population.
+func (s *ReplayStream) Reopen() (trace.Source, error) {
+	r := &ReplayStream{
+		nodes: s.nodes, duration: s.duration, total: s.total,
+		cum: s.cum, pairA: s.pairA, pairB: s.pairB,
+		seed1: s.seed1, seed2: s.seed2,
+	}
+	if s.total <= 0 {
+		r.done = true
+		return r, nil
+	}
+	r.rng = rand.New(rand.NewPCG(s.seed1, s.seed2))
+	return r, nil
+}

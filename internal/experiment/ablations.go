@@ -32,7 +32,7 @@ func AblationCacheSize(sc Scenario, rhos []int, f utility.Function) (*plot.Table
 	for _, r := range rhos {
 		s := sc
 		s.Rho = r
-		cmp, err := s.RunComparison(f, s.HomogeneousTraces(), schemes)
+		cmp, err := s.RunComparison(f, s.HomogeneousSources(), schemes)
 		if err != nil {
 			return nil, fmt.Errorf("ablation ρ=%d: %w", r, err)
 		}
@@ -64,7 +64,7 @@ func AblationPopularity(sc Scenario, omegas []float64, f utility.Function) (*plo
 	for _, w := range omegas {
 		s := sc
 		s.Omega = w
-		cmp, err := s.RunComparison(f, s.HomogeneousTraces(), schemes)
+		cmp, err := s.RunComparison(f, s.HomogeneousSources(), schemes)
 		if err != nil {
 			return nil, fmt.Errorf("ablation ω=%g: %w", w, err)
 		}
@@ -86,30 +86,45 @@ func AblationPopularity(sc Scenario, omegas []float64, f utility.Function) (*plo
 // AblationRewriting (X2) compares QCR with and without replica rewriting
 // (Section 5.1's two implementations) against OPT.
 func AblationRewriting(sc Scenario, f utility.Function) (*plot.Table, error) {
-	gen := sc.HomogeneousTraces()
+	gen := sc.HomogeneousSources()
 	pop := sc.Pop()
 	outs, err := parallel.RunTrials(sc.Trials, sc.Workers, sc.Seed, func(trial int, seed uint64) ([2]float64, error) {
-		tr, err := gen(seed)
+		src, err := gen(seed)
 		if err != nil {
 			return [2]float64{}, err
 		}
-		rates := trace.EmpiricalRates(tr)
-		optRes, err := sc.RunScheme(SchemeOPT, f, tr, rates, sc.Mu, uint64(trial), false)
+		ro, err := asReopenable(src)
+		if err != nil {
+			return [2]float64{}, err
+		}
+		rates, err := trace.EmpiricalRatesFrom(ro)
+		if err != nil {
+			return [2]float64{}, err
+		}
+		cfgOpt, err := sc.schemeConfig(SchemeOPT, f, rates, sc.Mu, uint64(trial), false, nil)
+		if err != nil {
+			return [2]float64{}, err
+		}
+		cfgs := []sim.Config{cfgOpt}
+		for _, rewriting := range []bool{false, true} {
+			q := sc.qcrPolicy(f, sc.Mu, true, sc.Seed*7919+uint64(trial))
+			q.Rewriting = rewriting
+			cfgs = append(cfgs, sim.Config{
+				Rho: sc.Rho, Utility: f, Pop: pop, Policy: q,
+				Seed: sc.Seed*1_000_003 + uint64(trial)*101, WarmupFrac: sc.WarmupFrac,
+			})
+		}
+		pass, err := ro.Reopen()
+		if err != nil {
+			return [2]float64{}, err
+		}
+		results, err := sim.RunBatch(cfgs, pass)
 		if err != nil {
 			return [2]float64{}, err
 		}
 		var loss [2]float64 // [no rewriting, rewriting]
-		for k, rewriting := range []bool{false, true} {
-			q := sc.qcrPolicy(f, sc.Mu, true, sc.Seed*7919+uint64(trial))
-			q.Rewriting = rewriting
-			res, err := sim.Run(sim.Config{
-				Rho: sc.Rho, Utility: f, Pop: pop, Trace: tr, Policy: q,
-				Seed: sc.Seed*1_000_003 + uint64(trial)*101, WarmupFrac: sc.WarmupFrac,
-			})
-			if err != nil {
-				return [2]float64{}, err
-			}
-			loss[k] = stats.NormalizedLoss(res.AvgUtilityRate, optRes.AvgUtilityRate)
+		for k := range loss {
+			loss[k] = stats.NormalizedLoss(results[k+1].AvgUtilityRate, results[0].AvgUtilityRate)
 		}
 		return loss, nil
 	})
@@ -191,17 +206,17 @@ func DynamicDemand(sc Scenario, f utility.Function) (*plot.Table, error) {
 		return nil, err
 	}
 	uOptNew := hNew.WelfareCounts(optNew)
-	gen := sc.HomogeneousTraces()
+	gen := sc.HomogeneousSources()
 	switchT := sc.Duration / 3
 	type trialOut struct{ times, u []float64 }
 	outs, err := parallel.RunTrials(sc.Trials, sc.Workers, sc.Seed, func(trial int, seed uint64) (trialOut, error) {
-		tr, err := gen(seed)
+		src, err := gen(seed)
 		if err != nil {
 			return trialOut{}, err
 		}
 		q := sc.qcrPolicy(f, sc.Mu, true, sc.Seed*7919+uint64(trial))
 		res, err := sim.Run(sim.Config{
-			Rho: sc.Rho, Utility: f, Pop: pop, Trace: tr, Policy: q,
+			Rho: sc.Rho, Utility: f, Pop: pop, Contacts: src, Policy: q,
 			Seed: sc.Seed*1_000_003 + uint64(trial)*101, WarmupFrac: sc.WarmupFrac,
 			BinWidth: sc.Duration / 100, RecordCounts: true,
 			DemandSwitch: &flipped, DemandSwitchTime: switchT,
@@ -279,7 +294,7 @@ func DiscreteVsContinuous(sc Scenario, f utility.Function, deltas []float64) (*p
 // utility — showing why tuning to impatience matters (the paper's core
 // message distilled into one run).
 func ReactionComparison(sc Scenario, f utility.Function) (*plot.Table, error) {
-	gen := sc.HomogeneousTraces()
+	gen := sc.HomogeneousSources()
 	pop := sc.Pop()
 	reactions := []struct {
 		name string
@@ -296,26 +311,41 @@ func ReactionComparison(sc Scenario, f utility.Function) (*plot.Table, error) {
 		}},
 	}
 	outs, err := parallel.RunTrials(sc.Trials, sc.Workers, sc.Seed, func(trial int, seed uint64) ([]float64, error) {
-		tr, err := gen(seed)
+		src, err := gen(seed)
 		if err != nil {
 			return nil, err
 		}
-		rates := trace.EmpiricalRates(tr)
-		optRes, err := sc.RunScheme(SchemeOPT, f, tr, rates, sc.Mu, uint64(trial), false)
+		ro, err := asReopenable(src)
+		if err != nil {
+			return nil, err
+		}
+		rates, err := trace.EmpiricalRatesFrom(ro)
+		if err != nil {
+			return nil, err
+		}
+		cfgOpt, err := sc.schemeConfig(SchemeOPT, f, rates, sc.Mu, uint64(trial), false, nil)
+		if err != nil {
+			return nil, err
+		}
+		cfgs := []sim.Config{cfgOpt}
+		for _, r := range reactions {
+			cfgs = append(cfgs, sim.Config{
+				Rho: sc.Rho, Utility: f, Pop: pop,
+				Policy: r.mk(sc.Seed*7919 + uint64(trial)),
+				Seed:   sc.Seed*1_000_003 + uint64(trial)*101, WarmupFrac: sc.WarmupFrac,
+			})
+		}
+		pass, err := ro.Reopen()
+		if err != nil {
+			return nil, err
+		}
+		results, err := sim.RunBatch(cfgs, pass)
 		if err != nil {
 			return nil, err
 		}
 		loss := make([]float64, len(reactions))
-		for k, r := range reactions {
-			res, err := sim.Run(sim.Config{
-				Rho: sc.Rho, Utility: f, Pop: pop, Trace: tr,
-				Policy: r.mk(sc.Seed*7919 + uint64(trial)),
-				Seed:   sc.Seed*1_000_003 + uint64(trial)*101, WarmupFrac: sc.WarmupFrac,
-			})
-			if err != nil {
-				return nil, err
-			}
-			loss[k] = stats.NormalizedLoss(res.AvgUtilityRate, optRes.AvgUtilityRate)
+		for k := range reactions {
+			loss[k] = stats.NormalizedLoss(results[k+1].AvgUtilityRate, results[0].AvgUtilityRate)
 		}
 		return loss, nil
 	})

@@ -1,0 +1,101 @@
+package experiment
+
+import (
+	"testing"
+
+	"impatience/internal/faults"
+	"impatience/internal/parallel"
+	"impatience/internal/synth"
+	"impatience/internal/utility"
+)
+
+// digestSchemesBatch mirrors digestSchemes but plays the trial through the
+// batch executor: one shared contact stream, every scheme in lockstep.
+// Comparing the two runners' digests is the equivalence certificate the
+// batch conversion rests on — per-scheme results must be bit-identical,
+// not statistically close.
+func digestSchemesBatch(sc Scenario, gen SourceGen, u utility.Function, schemes []string, series bool, plan func(trial int) *FaultPlan) func(trial int, seed uint64) (uint64, error) {
+	return func(trial int, seed uint64) (uint64, error) {
+		src, err := gen(seed)
+		if err != nil {
+			return 0, err
+		}
+		var p *FaultPlan
+		if plan != nil {
+			p = plan(trial)
+		}
+		// mu = 0 selects the empirical mean rate, exactly as
+		// digestSchemes computes it from the materialized trace.
+		results, err := sc.RunSchemesBatch(schemes, u, src, 0, uint64(trial), series, p)
+		if err != nil {
+			return 0, err
+		}
+		var acc uint64
+		for _, res := range results {
+			acc = mixDigest(acc, res.Digest())
+		}
+		return acc, nil
+	}
+}
+
+// TestBatchMatchesSequentialDigests pins the batch executor to the
+// sequential per-scheme path at the experiment layer: same trial seeds,
+// same fault timelines, same digests, at 1 and 4 workers. The conference
+// case exercises meetings truncated at the trace end; the fault case
+// exercises churn, loss and mandate expiry (mirroring degradationSweep's
+// per-trial fault seeding). CI runs this under -race.
+func TestBatchMatchesSequentialDigests(t *testing.T) {
+	sc := goldenScenario()
+
+	conf := synth.DefaultConference()
+	conf.Nodes = sc.Nodes
+	conf.Days = 1
+	scConf := sc
+	scConf.Duration = float64(conf.Days) * 1440
+
+	faultPlan := func(trial int) *FaultPlan {
+		fc := faults.Config{PLoss: 0.3, ChurnRate: 0.001, MeanDowntime: sc.Duration / 100}
+		fc.Seed = sc.Seed*69069 + uint64(trial)*127
+		return sc.Hardening(&fc)
+	}
+
+	cases := []struct {
+		name    string
+		sc      Scenario
+		traces  TraceGen
+		sources SourceGen
+		u       utility.Function
+		schemes []string
+		series  bool
+		plan    func(trial int) *FaultPlan
+	}{
+		{"homogeneous", sc, sc.HomogeneousTraces(), sc.HomogeneousSources(),
+			utility.Step{Tau: 10}, []string{SchemeQCR, SchemeOPT, SchemeUNI}, false, nil},
+		{"conference-truncated-meetings", scConf, ConferenceTraces(conf), ConferenceTraces(conf).Sourced(),
+			utility.Step{Tau: 60}, []string{SchemeQCR, SchemeOPT}, false, nil},
+		{"fault-timeline", sc, sc.HomogeneousTraces(), sc.HomogeneousSources(),
+			utility.Step{Tau: 10}, []string{SchemeQCR, SchemeOPT}, true, faultPlan},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			seq := digestSchemes(tc.sc, tc.traces, tc.u, tc.schemes, tc.series, tc.plan)
+			bat := digestSchemesBatch(tc.sc, tc.sources, tc.u, tc.schemes, tc.series, tc.plan)
+			ref, err := parallel.RunTrials(tc.sc.Trials, 1, tc.sc.Seed, seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range []int{1, 4} {
+				got, err := parallel.RunTrials(tc.sc.Trials, w, tc.sc.Seed, bat)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				for i := range ref {
+					if got[i] != ref[i] {
+						t.Fatalf("workers=%d trial %d: batch digest %#x != sequential %#x", w, i, got[i], ref[i])
+					}
+				}
+			}
+		})
+	}
+}

@@ -20,3 +20,11 @@ func contactGen(nodes int, mu, duration float64, rng *rand.Rand) (*trace.Trace, 
 func contactSource(nodes int, mu, duration float64, rng *rand.Rand) (trace.Source, error) {
 	return contact.NewHomogeneousStream(nodes, mu, duration, rng)
 }
+
+// contactReplay is the replayable streaming twin of contactGen: same
+// RNG draws as the materialized generator, so the contact sequence is
+// bit-identical to contactGen with rand.NewPCG(seed1, seed2), and the
+// source reopens for multi-pass trials (rates, then the batch sim).
+func contactReplay(nodes int, mu, duration float64, seed1, seed2 uint64) (trace.Source, error) {
+	return contact.NewHomogeneousReplayStream(nodes, mu, duration, seed1, seed2)
+}

@@ -45,14 +45,23 @@ func (sc Scenario) RunSchemeFaults(scheme string, u utility.Function, tr *trace.
 // 5%/95% band). Every scheme within a trial sees the identical fault
 // sequence: the injector's stream depends only on its config.
 func (sc Scenario) degradationSweep(u utility.Function, xs []float64, build func(x float64) faults.Config, title, xlabel string) (*plot.Table, error) {
-	gen := sc.HomogeneousTraces()
+	gen := sc.HomogeneousSources()
 	schemes := []string{SchemeQCR, SchemeOPT, SchemeUNI}
 	outs, err := parallel.RunTrials(sc.Trials, sc.Workers, sc.Seed, func(trial int, seed uint64) ([][]float64, error) {
-		tr, err := gen(seed)
+		src, err := gen(seed)
 		if err != nil {
 			return nil, err
 		}
-		rates := trace.EmpiricalRates(tr)
+		// One rates pass, then one lockstep batch pass per fault
+		// intensity over a reopened view of the same contact sequence.
+		ro, err := asReopenable(src)
+		if err != nil {
+			return nil, err
+		}
+		rates, err := trace.EmpiricalRatesFrom(ro)
+		if err != nil {
+			return nil, err
+		}
 		mu := rates.Mean()
 		rows := make([][]float64, len(schemes)) // scheme → per-x sample
 		for si := range rows {
@@ -62,12 +71,16 @@ func (sc Scenario) degradationSweep(u utility.Function, xs []float64, build func
 			fc := build(x)
 			fc.Seed = sc.Seed*69069 + uint64(trial)*127 + uint64(xi)
 			plan := sc.Hardening(&fc)
-			for si, scheme := range schemes {
-				res, err := sc.RunSchemeFaults(scheme, u, tr, rates, mu, uint64(trial), false, plan)
-				if err != nil {
-					return nil, fmt.Errorf("experiment: %s at %s=%g: %w", scheme, xlabel, x, err)
-				}
-				rows[si][xi] = res.AvgUtilityRate
+			pass, err := ro.Reopen()
+			if err != nil {
+				return nil, err
+			}
+			results, err := sc.runBatchOn(schemes, u, rates, mu, uint64(trial), false, plan, pass)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: at %s=%g: %w", xlabel, x, err)
+			}
+			for si := range schemes {
+				rows[si][xi] = results[si].AvgUtilityRate
 			}
 		}
 		return rows, nil
@@ -150,17 +163,15 @@ func MassFailureRecovery(sc Scenario, u utility.Function, frac float64) (*plot.T
 	if frac <= 0 || frac > 1 {
 		return nil, fmt.Errorf("experiment: mass-crash fraction %g outside (0,1]", frac)
 	}
-	gen := sc.HomogeneousTraces()
+	gen := sc.HomogeneousSources()
 	schemes := []string{SchemeQCR, SchemeOPT}
 	const bins = 100
 	crashAt := 0.4 * sc.Duration
 	outs, err := parallel.RunTrials(sc.Trials, sc.Workers, sc.Seed, func(trial int, seed uint64) ([][]float64, error) {
-		tr, err := gen(seed)
+		src, err := gen(seed)
 		if err != nil {
 			return nil, err
 		}
-		rates := trace.EmpiricalRates(tr)
-		mu := rates.Mean()
 		fc := faults.Config{
 			MassCrashTime: crashAt,
 			MassCrashFrac: frac,
@@ -168,12 +179,13 @@ func MassFailureRecovery(sc Scenario, u utility.Function, frac float64) (*plot.T
 			Seed:          sc.Seed*69069 + uint64(trial)*127,
 		}
 		plan := sc.Hardening(&fc)
+		results, err := sc.RunSchemesBatch(schemes, u, src, 0, uint64(trial), true, plan)
+		if err != nil {
+			return nil, err
+		}
 		rows := make([][]float64, len(schemes))
 		for si, scheme := range schemes {
-			res, err := sc.RunSchemeFaults(scheme, u, tr, rates, mu, uint64(trial), true, plan)
-			if err != nil {
-				return nil, fmt.Errorf("experiment: %s: %w", scheme, err)
-			}
+			res := results[si]
 			if len(res.Bins) != bins {
 				return nil, fmt.Errorf("experiment: %s: %d bins, want %d", scheme, len(res.Bins), bins)
 			}

@@ -214,12 +214,25 @@ func (sc Scenario) RunScheme(scheme string, u utility.Function, tr *trace.Trace,
 }
 
 func (sc Scenario) runScheme(scheme string, u utility.Function, tr *trace.Trace, rates *trace.RateMatrix, mu float64, trial uint64, series bool, plan *FaultPlan) (*sim.Result, error) {
+	cfg, err := sc.schemeConfig(scheme, u, rates, mu, trial, series, plan)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Trace = tr
+	return sim.Run(cfg)
+}
+
+// schemeConfig builds one scheme's simulation config for one trial,
+// leaving the contact input (Trace or Contacts) for the caller to wire:
+// runScheme replays a materialized trace, the batch executor streams one
+// shared source through every scheme's config. Both paths run the exact
+// same config — seeds included — so they are bit-identical.
+func (sc Scenario) schemeConfig(scheme string, u utility.Function, rates *trace.RateMatrix, mu float64, trial uint64, series bool, plan *FaultPlan) (sim.Config, error) {
 	pop := sc.Pop()
 	cfg := sim.Config{
 		Rho:        sc.Rho,
 		Utility:    u,
 		Pop:        pop,
-		Trace:      tr,
 		Seed:       sc.Seed*1_000_003 + trial*101,
 		WarmupFrac: sc.WarmupFrac,
 	}
@@ -241,7 +254,7 @@ func (sc Scenario) runScheme(scheme string, u utility.Function, tr *trace.Trace,
 	default:
 		counts, placement, err := buildStatic(sc, scheme, u, pop, rates)
 		if err != nil {
-			return nil, err
+			return sim.Config{}, err
 		}
 		cfg.Policy = core.Static{Label: scheme}
 		cfg.NoSticky = true
@@ -251,7 +264,7 @@ func (sc Scenario) runScheme(scheme string, u utility.Function, tr *trace.Trace,
 			cfg.Initial = counts
 		}
 	}
-	return sim.Run(cfg)
+	return cfg, nil
 }
 
 // Comparison is the outcome of running a scheme set over common trials.
@@ -264,39 +277,76 @@ type Comparison struct {
 	Loss map[string]stats.Summary
 }
 
-// RunComparison runs every scheme on the same per-trial traces and
-// aggregates utilities and losses vs OPT. Trials execute on the
-// parallel trial engine (sc.Workers workers); aggregation happens in
-// trial order, so results do not depend on scheduling.
-func (sc Scenario) RunComparison(u utility.Function, gen TraceGen, schemes []string) (*Comparison, error) {
+// RunComparison runs every scheme on the same per-trial contact streams
+// and aggregates utilities and losses vs OPT. Each trial is one shared
+// pass of the batch executor (sim.RunBatch): the source is streamed once
+// for the empirical rates and once, in lockstep, for every scheme — no
+// materialized contact list, bit-identical to the sequential path
+// (RunComparisonSequential). Trials execute on the parallel trial engine
+// (sc.Workers workers); aggregation happens in trial order, so results
+// do not depend on scheduling.
+func (sc Scenario) RunComparison(u utility.Function, gen SourceGen, schemes []string) (*Comparison, error) {
 	hasOPT := false
 	for _, s := range schemes {
 		if s == SchemeOPT {
 			hasOPT = true
 		}
 	}
-	type trialOut struct {
-		utility []float64 // indexed like schemes
-		uOpt    float64
+	outs, err := parallel.RunTrials(sc.Trials, sc.Workers, sc.Seed, func(trial int, seed uint64) (cmpTrial, error) {
+		src, err := gen(seed)
+		if err != nil {
+			return cmpTrial{}, err
+		}
+		results, err := sc.RunSchemesBatch(schemes, u, src, 0, uint64(trial), false, nil)
+		if err != nil {
+			return cmpTrial{}, err
+		}
+		out := cmpTrial{utility: make([]float64, len(schemes))}
+		for k, scheme := range schemes {
+			out.utility[k] = results[k].AvgUtilityRate
+			if scheme == SchemeOPT {
+				out.uOpt = results[k].AvgUtilityRate
+			}
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	outs, err := parallel.RunTrials(sc.Trials, sc.Workers, sc.Seed, func(trial int, seed uint64) (trialOut, error) {
+	return aggregateComparison(schemes, hasOPT, outs), nil
+}
+
+// RunComparisonSequential is the legacy comparison path: each trial
+// materializes its trace and replays the full contact slice once per
+// scheme. It is kept as the A/B baseline for the batch executor — the
+// digest-equality tests and cmd/agebench's BenchmarkBatchVsSequential
+// ladder measure RunComparison against it; their outputs are
+// bit-identical by construction.
+func (sc Scenario) RunComparisonSequential(u utility.Function, gen TraceGen, schemes []string) (*Comparison, error) {
+	hasOPT := false
+	for _, s := range schemes {
+		if s == SchemeOPT {
+			hasOPT = true
+		}
+	}
+	outs, err := parallel.RunTrials(sc.Trials, sc.Workers, sc.Seed, func(trial int, seed uint64) (cmpTrial, error) {
 		tr, err := gen(seed)
 		if err != nil {
-			return trialOut{}, err
+			return cmpTrial{}, err
 		}
 		if tr.Nodes != sc.Nodes {
-			return trialOut{}, fmt.Errorf("experiment: trace has %d nodes, scenario %d", tr.Nodes, sc.Nodes)
+			return cmpTrial{}, fmt.Errorf("experiment: trace has %d nodes, scenario %d", tr.Nodes, sc.Nodes)
 		}
 		rates := trace.EmpiricalRates(tr)
 		mu := rates.Mean()
 		if mu <= 0 {
-			return trialOut{}, fmt.Errorf("experiment: empty trace")
+			return cmpTrial{}, fmt.Errorf("experiment: empty trace")
 		}
-		out := trialOut{utility: make([]float64, len(schemes))}
+		out := cmpTrial{utility: make([]float64, len(schemes))}
 		for k, scheme := range schemes {
 			res, err := sc.RunScheme(scheme, u, tr, rates, mu, uint64(trial), false)
 			if err != nil {
-				return trialOut{}, fmt.Errorf("experiment: %s: %w", scheme, err)
+				return cmpTrial{}, fmt.Errorf("experiment: %s: %w", scheme, err)
 			}
 			out.utility[k] = res.AvgUtilityRate
 			if scheme == SchemeOPT {
@@ -308,6 +358,20 @@ func (sc Scenario) RunComparison(u utility.Function, gen TraceGen, schemes []str
 	if err != nil {
 		return nil, err
 	}
+	return aggregateComparison(schemes, hasOPT, outs), nil
+}
+
+// cmpTrial is one trial's per-scheme utilities (indexed like the schemes
+// slice) plus OPT's own, shared by the batch and sequential comparisons.
+type cmpTrial struct {
+	utility []float64
+	uOpt    float64
+}
+
+// aggregateComparison folds per-trial utilities into the summary the
+// comparison returns; trial order is fixed by the caller, so the float
+// reductions are worker-count invariant.
+func aggregateComparison(schemes []string, hasOPT bool, outs []cmpTrial) *Comparison {
 	perScheme := make(map[string][]float64, len(schemes))
 	perLoss := make(map[string][]float64, len(schemes))
 	for _, out := range outs {
@@ -330,5 +394,5 @@ func (sc Scenario) RunComparison(u utility.Function, gen TraceGen, schemes []str
 			cmp.Loss[s] = stats.Summarize(perLoss[s])
 		}
 	}
-	return cmp, nil
+	return cmp
 }

@@ -85,7 +85,7 @@ func TestBuildStaticAllSchemes(t *testing.T) {
 
 func TestRunComparisonHomogeneous(t *testing.T) {
 	sc := tiny()
-	cmp, err := sc.RunComparison(utility.Step{Tau: 10}, sc.HomogeneousTraces(),
+	cmp, err := sc.RunComparison(utility.Step{Tau: 10}, sc.HomogeneousSources(),
 		[]string{SchemeQCR, SchemeOPT, SchemeUNI})
 	if err != nil {
 		t.Fatalf("RunComparison: %v", err)
@@ -163,7 +163,7 @@ func TestSweepSmall(t *testing.T) {
 	sc.Trials = 1
 	tb, err := sc.Sweep("test sweep", "tau", []float64{5, 50},
 		func(tau float64) utility.Function { return utility.Step{Tau: tau} },
-		sc.HomogeneousTraces(),
+		sc.HomogeneousSources(),
 		[]string{SchemeQCR, SchemeOPT, SchemeUNI})
 	if err != nil {
 		t.Fatalf("Sweep: %v", err)

@@ -11,7 +11,6 @@ import (
 	"impatience/internal/plot"
 	"impatience/internal/sim"
 	"impatience/internal/stats"
-	"impatience/internal/trace"
 	"impatience/internal/utility"
 	"impatience/internal/welfare"
 )
@@ -23,21 +22,20 @@ import (
 // maintain the allocation — exactly what opportunistic networks lack
 // (Section 5's motivation).
 func OverheadComparison(sc Scenario, f utility.Function) (*plot.Table, error) {
-	gen := sc.HomogeneousTraces()
+	gen := sc.HomogeneousSources()
 	schemes := []string{SchemeQCR, SchemeOPT, SchemePROP}
 	type agg struct{ meta, content, mandates, fulfilled []float64 }
 	outs, err := parallel.RunTrials(sc.Trials, sc.Workers, sc.Seed, func(trial int, seed uint64) ([][4]float64, error) {
-		tr, err := gen(seed)
+		src, err := gen(seed)
 		if err != nil {
 			return nil, err
 		}
-		rates := trace.EmpiricalRates(tr)
+		results, err := sc.RunSchemesBatch(schemes, f, src, sc.Mu, uint64(trial), false, nil)
+		if err != nil {
+			return nil, err
+		}
 		rows := make([][4]float64, len(schemes))
-		for si, scheme := range schemes {
-			res, err := sc.RunScheme(scheme, f, tr, rates, sc.Mu, uint64(trial), false)
-			if err != nil {
-				return nil, err
-			}
+		for si, res := range results {
 			rows[si] = [4]float64{
 				float64(res.Overhead.MetadataMsgs),
 				float64(res.Overhead.ContentTransfers),
@@ -114,14 +112,14 @@ func MixedCatalog(sc Scenario) (*plot.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	gen := sc.HomogeneousTraces()
+	gen := sc.HomogeneousSources()
 	outs, err := parallel.RunTrials(sc.Trials, sc.Workers, sc.Seed, func(trial int, seed uint64) ([3]float64, error) {
-		tr, err := gen(seed)
+		src, err := gen(seed)
 		if err != nil {
 			return [3]float64{}, err
 		}
 		base := sim.Config{
-			Rho: sc.Rho, Utilities: us, Pop: pop, Trace: tr,
+			Rho: sc.Rho, Utilities: us, Pop: pop,
 			Seed: sc.Seed*1_000_003 + uint64(trial)*101, WarmupFrac: sc.WarmupFrac,
 		}
 		// Per-item tuned QCR.
@@ -133,10 +131,6 @@ func MixedCatalog(sc Scenario) (*plot.Table, error) {
 			MaxMandates:     5,
 			Seed:            sc.Seed*7919 + uint64(trial),
 		}
-		resT, err := sim.Run(cfgT)
-		if err != nil {
-			return [3]float64{}, err
-		}
 		// Mis-tuned QCR: believes everything is step content.
 		cfgM := base
 		cfgM.Policy = &core.QCR{
@@ -146,20 +140,18 @@ func MixedCatalog(sc Scenario) (*plot.Table, error) {
 			MaxMandates:    5,
 			Seed:           sc.Seed*7919 + uint64(trial),
 		}
-		resM, err := sim.Run(cfgM)
-		if err != nil {
-			return [3]float64{}, err
-		}
 		// Mixed OPT.
 		cfgO := base
 		cfgO.Policy = core.Static{Label: "opt"}
 		cfgO.Initial = opt
 		cfgO.NoSticky = true
-		resO, err := sim.Run(cfgO)
+		// No static scheme needs empirical rates here, so the three
+		// variants run on a single pass of the contact stream.
+		results, err := sim.RunBatch([]sim.Config{cfgT, cfgM, cfgO}, src)
 		if err != nil {
 			return [3]float64{}, err
 		}
-		return [3]float64{resT.AvgUtilityRate, resM.AvgUtilityRate, resO.AvgUtilityRate}, nil
+		return [3]float64{results[0].AvgUtilityRate, results[1].AvgUtilityRate, results[2].AvgUtilityRate}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -190,21 +182,29 @@ func MixedCatalog(sc Scenario) (*plot.Table, error) {
 func AdaptiveImpatience(sc Scenario, nu float64) (*plot.Table, error) {
 	truth := utility.Exponential{Nu: nu}
 	pop := sc.Pop()
-	gen := sc.HomogeneousTraces()
+	gen := sc.HomogeneousSources()
 	outs, err := parallel.RunTrials(sc.Trials, sc.Workers, sc.Seed, func(trial int, seed uint64) ([4]float64, error) {
-		tr, err := gen(seed)
+		src, err := gen(seed)
 		if err != nil {
 			return [4]float64{}, err
 		}
-		rates := trace.EmpiricalRates(tr)
-		resO, err := sc.RunScheme(SchemeOPT, truth, tr, rates, sc.Mu, uint64(trial), false)
+		// OPT and the oracle QCR share one lockstep pass; the adaptive
+		// policy runs on its own reopened pass of the same contacts (its
+		// feedback closure is stateful, so it cannot join the batch
+		// without changing RNG consumption order).
+		ro, err := asReopenable(src)
 		if err != nil {
 			return [4]float64{}, err
 		}
-		resQ, err := sc.RunScheme(SchemeQCR, truth, tr, rates, sc.Mu, uint64(trial), false)
+		adaptivePass, err := ro.Reopen()
 		if err != nil {
 			return [4]float64{}, err
 		}
+		results, err := sc.RunSchemesBatch([]string{SchemeOPT, SchemeQCR}, truth, ro, sc.Mu, uint64(trial), false, nil)
+		if err != nil {
+			return [4]float64{}, err
+		}
+		resO, resQ := results[0], results[1]
 		feedbackRNG := rand.New(rand.NewPCG(sc.Seed^0xfeedbac, uint64(trial)))
 		pol := &adaptive.Policy{
 			Feedback: func(item int, age float64) bool {
@@ -217,7 +217,7 @@ func AdaptiveImpatience(sc Scenario, nu float64) (*plot.Table, error) {
 			},
 		}
 		resA, err := sim.Run(sim.Config{
-			Rho: sc.Rho, Utility: truth, Pop: pop, Trace: tr, Policy: pol,
+			Rho: sc.Rho, Utility: truth, Pop: pop, Contacts: adaptivePass, Policy: pol,
 			Seed: sc.Seed*1_000_003 + uint64(trial)*101, WarmupFrac: sc.WarmupFrac,
 		})
 		if err != nil {
@@ -276,14 +276,14 @@ func DedicatedKiosks(sc Scenario, servers int) (*plot.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	gen := sc.HomogeneousTraces()
+	gen := sc.HomogeneousSources()
 	outs, err := parallel.RunTrials(sc.Trials, sc.Workers, sc.Seed, func(trial int, seed uint64) ([2]float64, error) {
-		tr, err := gen(seed)
+		src, err := gen(seed)
 		if err != nil {
 			return [2]float64{}, err
 		}
 		base := sim.Config{
-			Rho: sc.Rho, Utility: u, Pop: pop, Trace: tr,
+			Rho: sc.Rho, Utility: u, Pop: pop,
 			ServerCount: servers,
 			Seed:        sc.Seed*1_000_003 + uint64(trial)*101, WarmupFrac: sc.WarmupFrac,
 		}
@@ -295,19 +295,15 @@ func DedicatedKiosks(sc Scenario, servers int) (*plot.Table, error) {
 			MaxMandates:    5,
 			Seed:           sc.Seed*7919 + uint64(trial),
 		}
-		resQ, err := sim.Run(cfgQ)
-		if err != nil {
-			return [2]float64{}, err
-		}
 		cfgO := base
 		cfgO.Policy = core.Static{Label: "opt"}
 		cfgO.Initial = opt
 		cfgO.NoSticky = true
-		resO, err := sim.Run(cfgO)
+		results, err := sim.RunBatch([]sim.Config{cfgQ, cfgO}, src)
 		if err != nil {
 			return [2]float64{}, err
 		}
-		return [2]float64{resQ.AvgUtilityRate, resO.AvgUtilityRate}, nil
+		return [2]float64{results[0].AvgUtilityRate, results[1].AvgUtilityRate}, nil
 	})
 	if err != nil {
 		return nil, err

@@ -8,7 +8,6 @@ import (
 	"impatience/internal/plot"
 	"impatience/internal/stats"
 	"impatience/internal/synth"
-	"impatience/internal/trace"
 	"impatience/internal/utility"
 	"impatience/internal/welfare"
 )
@@ -34,7 +33,8 @@ func Figure3(sc Scenario) ([]*plot.Table, error) {
 		return nil, err
 	}
 	uOpt := h.WelfareCounts(opt)
-	gen := sc.HomogeneousTraces()
+	gen := sc.HomogeneousSources()
+	schemes := []string{SchemeQCR, SchemeQCRWOM}
 
 	type seriesSet struct {
 		expected [][]float64
@@ -46,17 +46,20 @@ func Figure3(sc Scenario) ([]*plot.Table, error) {
 		times, exp, obs, man []float64
 		tops                 [5][]float64
 	}
-	collect := func(scheme string) (*seriesSet, []float64, error) {
-		outs, err := parallel.RunTrials(sc.Trials, sc.Workers, sc.Seed, func(trial int, seed uint64) (*trialSeries, error) {
-			tr, err := gen(seed)
-			if err != nil {
-				return nil, err
-			}
-			rates := trace.EmpiricalRates(tr)
-			res, err := sc.RunScheme(scheme, f, tr, rates, sc.Mu, uint64(trial), true)
-			if err != nil {
-				return nil, err
-			}
+	// Both variants run on one shared pass of each trial's contact
+	// stream (sim.RunBatch); per-scheme results are bit-identical to the
+	// former one-scheme-at-a-time collection.
+	outs, err := parallel.RunTrials(sc.Trials, sc.Workers, sc.Seed, func(trial int, seed uint64) ([]*trialSeries, error) {
+		src, err := gen(seed)
+		if err != nil {
+			return nil, err
+		}
+		results, err := sc.RunSchemesBatch(schemes, f, src, sc.Mu, uint64(trial), true, nil)
+		if err != nil {
+			return nil, err
+		}
+		series := make([]*trialSeries, len(results))
+		for k, res := range results {
 			ts := &trialSeries{
 				times: make([]float64, len(res.Bins)),
 				exp:   make([]float64, len(res.Bins)),
@@ -77,14 +80,19 @@ func Figure3(sc Scenario) ([]*plot.Table, error) {
 				ts.obs[i] = b.Gain / (b.T1 - b.T0)
 				ts.man[i] = float64(b.Mandates)
 			}
-			return ts, nil
-		})
-		if err != nil {
-			return nil, nil, err
+			series[k] = ts
 		}
+		return series, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var times []float64
+	sets := make([]*seriesSet, len(schemes))
+	for k := range schemes {
 		set := &seriesSet{top5: make([][][]float64, 5)}
-		var times []float64
-		for _, ts := range outs {
+		for _, trial := range outs {
+			ts := trial[k]
 			if times == nil {
 				times = ts.times
 			}
@@ -95,17 +103,9 @@ func Figure3(sc Scenario) ([]*plot.Table, error) {
 				set.top5[r] = append(set.top5[r], ts.tops[r])
 			}
 		}
-		return set, times, nil
+		sets[k] = set
 	}
-
-	qcr, times, err := collect(SchemeQCR)
-	if err != nil {
-		return nil, err
-	}
-	wom, _, err := collect(SchemeQCRWOM)
-	if err != nil {
-		return nil, err
-	}
+	qcr, wom := sets[0], sets[1]
 
 	mean := func(trials [][]float64) []float64 {
 		s, err := stats.MergeTrials(times, trials)
@@ -157,7 +157,7 @@ func constant(n int, v float64) []float64 {
 // Sweep runs RunComparison across a parameter sweep, building a
 // loss-vs-parameter table (one column per scheme) — the shape of Figures
 // 4, 5b/5c and 6.
-func (sc Scenario) Sweep(title, xlabel string, params []float64, mkUtility func(p float64) utility.Function, gen TraceGen, schemes []string) (*plot.Table, error) {
+func (sc Scenario) Sweep(title, xlabel string, params []float64, mkUtility func(p float64) utility.Function, gen SourceGen, schemes []string) (*plot.Table, error) {
 	table := &plot.Table{Title: title, XLabel: xlabel}
 	table.X = append([]float64(nil), params...)
 	cols := make(map[string][]float64, len(schemes))
@@ -191,7 +191,7 @@ func Figure4Power(sc Scenario, alphas []float64) (*plot.Table, error) {
 	return sc.Sweep("Figure 4 (left): loss vs α, power utility, homogeneous",
 		"alpha", alphas,
 		func(a float64) utility.Function { return utility.Power{Alpha: a} },
-		sc.HomogeneousTraces(), schemes)
+		sc.HomogeneousSources(), schemes)
 }
 
 // Figure4Step regenerates the right panel of Figure 4: normalized loss vs
@@ -204,7 +204,7 @@ func Figure4Step(sc Scenario, taus []float64) (*plot.Table, error) {
 	return sc.Sweep("Figure 4 (right): loss vs τ, step utility, homogeneous",
 		"tau", taus,
 		func(tau float64) utility.Function { return utility.Step{Tau: tau} },
-		sc.HomogeneousTraces(), schemes)
+		sc.HomogeneousSources(), schemes)
 }
 
 // Figure5TimeSeries regenerates Figure 5a: hourly-averaged observed
@@ -216,7 +216,7 @@ func Figure5TimeSeries(sc Scenario, conf synth.ConferenceConfig, tau float64) (*
 		tau = 60
 	}
 	f := utility.Step{Tau: tau}
-	gen := ConferenceTraces(conf)
+	gen := ConferenceTraces(conf).Sourced()
 	sc.Duration = float64(conf.Days) * 1440
 
 	schemes := append([]string{SchemeQCR}, AllCompetitors...)
@@ -224,40 +224,48 @@ func Figure5TimeSeries(sc Scenario, conf synth.ConferenceConfig, tau float64) (*
 		Title:  fmt.Sprintf("Figure 5a: observed utility over time, conference trace (step τ=%g min)", tau),
 		XLabel: "time (min)",
 	}
-	var times []float64
-	for _, scheme := range schemes {
-		scheme := scheme
-		type trialOut struct{ times, obs []float64 }
-		outs, err := parallel.RunTrials(sc.Trials, sc.Workers, sc.Seed, func(trial int, seed uint64) (trialOut, error) {
-			tr, err := gen(seed)
-			if err != nil {
-				return trialOut{}, err
-			}
-			rates := trace.EmpiricalRates(tr)
-			res, err := sc.RunScheme(scheme, f, tr, rates, rates.Mean(), uint64(trial), true)
-			if err != nil {
-				return trialOut{}, err
-			}
-			out := trialOut{
-				times: make([]float64, len(res.Bins)),
-				obs:   make([]float64, len(res.Bins)),
-			}
-			for i, b := range res.Bins {
-				out.obs[i] = b.Gain / (b.T1 - b.T0)
-				out.times[i] = b.T0
-			}
-			return out, nil
-		})
+	// One shared pass per trial: the trace is generated once and every
+	// scheme runs on it in lockstep, instead of once per scheme.
+	type trialOut struct {
+		times []float64
+		obs   [][]float64 // indexed like schemes
+	}
+	outs, err := parallel.RunTrials(sc.Trials, sc.Workers, sc.Seed, func(trial int, seed uint64) (trialOut, error) {
+		src, err := gen(seed)
 		if err != nil {
-			return nil, err
+			return trialOut{}, err
 		}
+		results, err := sc.RunSchemesBatch(schemes, f, src, 0, uint64(trial), true, nil)
+		if err != nil {
+			return trialOut{}, err
+		}
+		out := trialOut{obs: make([][]float64, len(results))}
+		for k, res := range results {
+			if out.times == nil {
+				out.times = make([]float64, len(res.Bins))
+				for i, b := range res.Bins {
+					out.times[i] = b.T0
+				}
+			}
+			out.obs[k] = make([]float64, len(res.Bins))
+			for i, b := range res.Bins {
+				out.obs[k][i] = b.Gain / (b.T1 - b.T0)
+			}
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var times []float64
+	for k, scheme := range schemes {
 		var trials [][]float64
 		for _, out := range outs {
 			if times == nil {
 				times = out.times
 				table.X = times
 			}
-			trials = append(trials, out.obs)
+			trials = append(trials, out.obs[k])
 		}
 		s, err := stats.MergeTrials(times, trials)
 		if err != nil {
@@ -288,13 +296,13 @@ func Figure5Step(sc Scenario, conf synth.ConferenceConfig, taus []float64, memor
 		fmt.Sprintf("Figure 5: loss vs τ, conference trace (%s)", label),
 		"tau", taus,
 		func(tau float64) utility.Function { return utility.Step{Tau: tau} },
-		gen, schemes)
+		gen.Sourced(), schemes)
 }
 
 // Figure6 regenerates the three vehicular panels: loss vs α (power), vs τ
 // (step) and vs ν (exponential) on the Cabspotting-like taxi trace.
 func Figure6(sc Scenario, veh synth.VehicularConfig, panel string, params []float64) (*plot.Table, error) {
-	gen := VehicularTraces(veh)
+	gen := VehicularTraces(veh).Sourced()
 	sc.Duration = veh.DurationMin
 	schemes := append([]string{SchemeQCR}, AllCompetitors...)
 	switch panel {

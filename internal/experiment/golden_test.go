@@ -161,7 +161,7 @@ func TestGoldenFiguresWorkerInvariance(t *testing.T) {
 		}},
 		{"mass-failure", func(sc Scenario) (any, error) { return MassFailureRecovery(sc, utility.Step{Tau: 10}, 0.5) }},
 		{"comparison", func(sc Scenario) (any, error) {
-			return sc.RunComparison(utility.Step{Tau: 10}, sc.HomogeneousTraces(),
+			return sc.RunComparison(utility.Step{Tau: 10}, sc.HomogeneousSources(),
 				[]string{SchemeQCR, SchemeOPT, SchemeUNI})
 		}},
 	}

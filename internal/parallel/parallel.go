@@ -15,6 +15,14 @@
 // Together these guarantee the worker-count invariance the golden tests
 // in internal/experiment pin down: results are bit-identical at
 // workers=1, workers=4 and workers=NumCPU.
+//
+// The unit of parallelism is one whole trial, not one (trial, scheme)
+// pair: inside a trial the schemes share a single contact stream and
+// run in lockstep on the batch executor (sim.RunBatch), so splitting
+// them across workers would force the stream to be either replayed per
+// scheme or materialized — the two costs the batch executor exists to
+// avoid. Workers therefore scale across trials while each trial stays
+// single-pass.
 package parallel
 
 import (

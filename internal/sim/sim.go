@@ -22,6 +22,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"math/rand/v2"
 	"slices"
 	"sort"
@@ -189,6 +190,12 @@ type state struct {
 	servers int // nodes [0, servers) have caches; == nodes in pure P2P
 	rho     int
 	rng     *rand.Rand
+	// ufns caches each item's resolved delay-utility: one slice read on
+	// the per-fulfillment hot path (fulfillSide, handleArrival, crash and
+	// the horizon accounting) instead of re-resolving the Utilities
+	// override against the default every time. Built once at setup; the
+	// resolution rule itself lives in resolveUtility.
+	ufns []utility.Function
 	slots   [][]int32 // per node: item id per slot, -1 when empty
 	stickyS [][]bool  // per node: slot pinned?
 	has     []bool    // node*items + item
@@ -291,12 +298,18 @@ func (s *state) place(node, item int, sticky bool) error {
 	return fmt.Errorf("sim: node %d has no free slot for item %d", node, item)
 }
 
-// utilityFor resolves item i's delay-utility.
-func (s *state) utilityFor(i int) utility.Function {
-	if i < len(s.cfg.Utilities) && s.cfg.Utilities[i] != nil {
-		return s.cfg.Utilities[i]
+// utilityFor returns item i's delay-utility from the per-item cache.
+func (s *state) utilityFor(i int) utility.Function { return s.ufns[i] }
+
+// resolveUtility is the resolution rule behind the utilityFor cache:
+// the per-item override when present, the population default otherwise.
+// Kept as a standalone function so the cache-vs-resolve micro-benchmark
+// can measure exactly what the hot path stopped paying.
+func resolveUtility(cfg *Config, i int) utility.Function {
+	if i < len(cfg.Utilities) && cfg.Utilities[i] != nil {
+		return cfg.Utilities[i]
 	}
-	return s.cfg.Utility
+	return cfg.Utility
 }
 
 // freeSlots counts empty slots at a node, from the occupancy counter
@@ -444,6 +457,11 @@ type runner struct {
 	nodes    int
 	duration float64
 	prevT    float64 // last consumed contact time (streaming sanity check)
+	// checked marks the contact feed as already contract-validated —
+	// either a materialized trace (validated up front) or the batch
+	// executor's shared stream (checked once per contact by the driver,
+	// not once per runner) — so step skips the per-contact re-check.
+	checked bool
 }
 
 // Run executes the simulation: set-up, one step per contact in time
@@ -487,6 +505,14 @@ func newRunner(cfg *Config) (*runner, error) {
 	if err != nil {
 		return nil, err
 	}
+	return buildRunner(cfg, nodes, duration)
+}
+
+// buildRunner constructs the runner for an already-validated config and
+// resolved (nodes, duration). It is shared by the single-run entry point
+// (newRunner) and the batch executor, whose runners all take their
+// dimensions from the one shared contact source.
+func buildRunner(cfg *Config, nodes int, duration float64) (*runner, error) {
 	items := cfg.Pop.Items()
 	servers := nodes
 	if cfg.ServerCount > 0 {
@@ -521,6 +547,10 @@ func newRunner(cfg *Config) (*runner, error) {
 	}
 	for i := range s.stickyN {
 		s.stickyN[i] = -1
+	}
+	s.ufns = make([]utility.Function, items)
+	for i := range s.ufns {
+		s.ufns[i] = resolveUtility(cfg, i)
 	}
 	if err := s.initCaches(); err != nil {
 		return nil, err
@@ -581,18 +611,41 @@ func newRunner(cfg *Config) (*runner, error) {
 		res.ItemDelays = make([][]float64, items)
 		res.ItemGains = make([]float64, items)
 		res.ItemFulfillments = make([]int, items)
+		// Size each item's delay buffer for its expected post-warmup
+		// sample count (one sample per fulfillment, at most one per
+		// request): mean demand over the measured span plus a 4σ Poisson
+		// margin. In steady state record then appends into retained
+		// storage instead of regrowing 1→2→4→…, which is what the
+		// AllocsPerRun regression test pins; the cap keeps pathological
+		// durations from turning the margin into a giant up-front arena.
+		span := duration - res.MeasureStart
+		for i := range res.ItemDelays {
+			mean := cfg.Pop.Rates[i] * span
+			capHint := int(mean+4*math.Sqrt(mean)) + 8
+			if capHint > 1<<16 {
+				capHint = 1 << 16
+			}
+			res.ItemDelays[i] = make([]float64, 0, capHint)
+		}
 	}
 	r := &runner{
 		cfg:      cfg,
 		s:        s,
 		res:      res,
 		mat:      cfg.Trace,
+		checked:  cfg.Trace != nil,
 		proc:     proc,
 		switched: cfg.DemandSwitch == nil,
 		fevents:  fevents,
 		binIdx:   -1,
 		nodes:    nodes,
 		duration: duration,
+	}
+	if cfg.BinWidth > 0 {
+		// The whole time series is appended bin by bin (flushTo); its
+		// final length is known up front, so reserve it once and keep the
+		// batch steady state allocation-free.
+		r.bins = make([]Bin, 0, int(duration/cfg.BinWidth)+2)
 	}
 	r.mc, r.hasMandates = cfg.Policy.(mandateCounter)
 	r.next, r.ok = proc.Next()
@@ -741,7 +794,7 @@ func (r *runner) advanceTo(horizon float64) error {
 // request queues, no time series) it performs zero heap allocations —
 // pinned by the AllocsPerRun regression test.
 func (r *runner) step(c trace.Contact) error {
-	if r.mat == nil {
+	if !r.checked {
 		// Streamed contacts cannot be validated up front; check each one
 		// as it is consumed (comparisons only, nothing allocated).
 		if err := trace.CheckStreamContact(c, r.prevT, r.nodes, r.duration); err != nil {
@@ -857,18 +910,10 @@ func intsToCounts(v []int) alloc.Counts {
 // run duration from whichever contact input (Trace or Contacts) is set.
 func validate(cfg *Config) (nodes int, duration float64, err error) {
 	switch {
-	case cfg.Utility == nil && len(cfg.Utilities) == 0:
-		return 0, 0, fmt.Errorf("sim: nil utility")
-	case cfg.Policy == nil:
-		return 0, 0, fmt.Errorf("sim: nil policy")
 	case cfg.Trace == nil && cfg.Contacts == nil:
 		return 0, 0, fmt.Errorf("sim: nil trace (set Trace or Contacts)")
 	case cfg.Trace != nil && cfg.Contacts != nil:
 		return 0, 0, fmt.Errorf("sim: both Trace and Contacts set; pick one")
-	case cfg.Rho <= 0:
-		return 0, 0, fmt.Errorf("sim: ρ=%d", cfg.Rho)
-	case cfg.Pop.Items() == 0:
-		return 0, 0, fmt.Errorf("sim: empty catalog")
 	}
 	if cfg.Trace != nil {
 		if err := cfg.Trace.Validate(); err != nil {
@@ -879,31 +924,71 @@ func validate(cfg *Config) (nodes int, duration float64, err error) {
 		// A stream cannot be validated up front; its dimensions can.
 		// Contacts themselves are checked one at a time as consumed.
 		nodes, duration = cfg.Contacts.Nodes(), cfg.Contacts.Duration()
-		if nodes < 2 {
-			return 0, 0, fmt.Errorf("sim: contact source has %d nodes, need ≥ 2", nodes)
-		}
-		if !(duration > 0) { // catches NaN too
-			return 0, 0, fmt.Errorf("sim: contact source duration %g", duration)
+		if err := checkSourceDims(nodes, duration); err != nil {
+			return 0, 0, err
 		}
 	}
+	return nodes, duration, validateShared(cfg, nodes, duration)
+}
+
+// checkSourceDims sanity-checks the dimensions reported by an
+// unvalidated contact stream. (A materialized Trace skips this: its own
+// Validate governs, and it legitimately allows single-node traces.)
+func checkSourceDims(nodes int, duration float64) error {
+	if nodes < 2 {
+		return fmt.Errorf("sim: contact source has %d nodes, need ≥ 2", nodes)
+	}
+	if !(duration > 0) { // catches NaN too
+		return fmt.Errorf("sim: contact source duration %g", duration)
+	}
+	return nil
+}
+
+// validateBatch checks one batch config against the shared contact
+// source's dimensions. Batch configs must leave both contact inputs
+// unset: the executor owns the one stream every runner consumes.
+func validateBatch(cfg *Config, nodes int, duration float64) error {
+	if cfg.Trace != nil || cfg.Contacts != nil {
+		return fmt.Errorf("sim: batch config must leave Trace and Contacts unset (the shared source drives every runner)")
+	}
+	if err := checkSourceDims(nodes, duration); err != nil {
+		return err
+	}
+	return validateShared(cfg, nodes, duration)
+}
+
+// validateShared holds every configuration check that does not depend on
+// which contact input supplies the dimensions, shared by the single-run
+// and batch entry points. It also normalizes cfg.WarmupFrac in place.
+func validateShared(cfg *Config, nodes int, duration float64) error {
+	switch {
+	case cfg.Utility == nil && len(cfg.Utilities) == 0:
+		return fmt.Errorf("sim: nil utility")
+	case cfg.Policy == nil:
+		return fmt.Errorf("sim: nil policy")
+	case cfg.Rho <= 0:
+		return fmt.Errorf("sim: ρ=%d", cfg.Rho)
+	case cfg.Pop.Items() == 0:
+		return fmt.Errorf("sim: empty catalog")
+	}
 	if err := cfg.Faults.Validate(); err != nil {
-		return 0, 0, err
+		return err
 	}
 	if cfg.ServerCount < 0 || cfg.ServerCount >= nodes {
 		if cfg.ServerCount != 0 {
-			return 0, 0, fmt.Errorf("sim: ServerCount %d must be in (0, %d)", cfg.ServerCount, nodes)
+			return fmt.Errorf("sim: ServerCount %d must be in (0, %d)", cfg.ServerCount, nodes)
 		}
 	}
 	if len(cfg.Utilities) > 0 && len(cfg.Utilities) != cfg.Pop.Items() {
-		return 0, 0, fmt.Errorf("sim: %d per-item utilities for %d items", len(cfg.Utilities), cfg.Pop.Items())
+		return fmt.Errorf("sim: %d per-item utilities for %d items", len(cfg.Utilities), cfg.Pop.Items())
 	}
 	if cfg.ServerCount == 0 {
 		if cfg.Utility != nil && !utility.SupportsPureP2P(cfg.Utility) {
-			return 0, 0, fmt.Errorf("sim: %s has unbounded h(0+); use the dedicated-node case (ServerCount > 0)", cfg.Utility.Name())
+			return fmt.Errorf("sim: %s has unbounded h(0+); use the dedicated-node case (ServerCount > 0)", cfg.Utility.Name())
 		}
 		for i, f := range cfg.Utilities {
 			if f != nil && !utility.SupportsPureP2P(f) {
-				return 0, 0, fmt.Errorf("sim: item %d utility %s has unbounded h(0+); use the dedicated-node case", i, f.Name())
+				return fmt.Errorf("sim: item %d utility %s has unbounded h(0+); use the dedicated-node case", i, f.Name())
 			}
 		}
 	}
@@ -913,29 +998,29 @@ func validate(cfg *Config) (nodes int, duration float64, err error) {
 	case cfg.WarmupFrac < 0:
 		cfg.WarmupFrac = 0
 	case cfg.WarmupFrac >= 1:
-		return 0, 0, fmt.Errorf("sim: warmup fraction %g", cfg.WarmupFrac)
+		return fmt.Errorf("sim: warmup fraction %g", cfg.WarmupFrac)
 	}
 	effServers := nodes
 	if cfg.ServerCount > 0 {
 		effServers = cfg.ServerCount
 	}
 	if !cfg.NoSticky && cfg.Pop.Items() > effServers*cfg.Rho {
-		return 0, 0, fmt.Errorf("sim: %d items exceed global capacity %d; sticky replicas impossible", cfg.Pop.Items(), effServers*cfg.Rho)
+		return fmt.Errorf("sim: %d items exceed global capacity %d; sticky replicas impossible", cfg.Pop.Items(), effServers*cfg.Rho)
 	}
 	if cfg.DemandSwitch != nil && cfg.DemandSwitch.Items() != cfg.Pop.Items() {
-		return 0, 0, fmt.Errorf("sim: demand switch catalog %d != %d", cfg.DemandSwitch.Items(), cfg.Pop.Items())
+		return fmt.Errorf("sim: demand switch catalog %d != %d", cfg.DemandSwitch.Items(), cfg.Pop.Items())
 	}
 	if cfg.InitialPlacement != nil {
 		p := cfg.InitialPlacement
 		if !cfg.NoSticky {
-			return 0, 0, fmt.Errorf("sim: InitialPlacement requires NoSticky")
+			return fmt.Errorf("sim: InitialPlacement requires NoSticky")
 		}
 		if p.Items != cfg.Pop.Items() || p.Servers != effServers || p.Rho > cfg.Rho {
-			return 0, 0, fmt.Errorf("sim: placement shape %dx%d/ρ%d incompatible with %dx%d/ρ%d",
+			return fmt.Errorf("sim: placement shape %dx%d/ρ%d incompatible with %dx%d/ρ%d",
 				p.Items, p.Servers, p.Rho, cfg.Pop.Items(), effServers, cfg.Rho)
 		}
 	}
-	return nodes, duration, nil
+	return nil
 }
 
 // initCaches lays out the initial allocation: sticky replicas first (one

@@ -31,6 +31,20 @@ type ErrSource interface {
 	Err() error
 }
 
+// Reopenable is a Source that can hand out a fresh, rewound copy of
+// itself: Reopen returns a new Source that streams the identical contact
+// sequence from the start, regardless of how far the receiver has been
+// drained. The batch harness relies on it to stream one trial's contacts
+// twice — once to accumulate the empirical rate matrix the static
+// allocations need, once to drive the lockstep multi-scheme simulation —
+// without ever materializing the O(N²·µ·T) contact list. Synthetic
+// sources reopen by re-deriving their RNG from the recorded seed; the
+// slice adapter reopens by re-pointing at the shared trace.
+type Reopenable interface {
+	Source
+	Reopen() (Source, error)
+}
+
 // SliceSource adapts a materialized Trace to the Source interface. It
 // yields the contact slice in order, so a simulation driven through the
 // adapter is bit-identical to one iterating the slice directly.
@@ -56,6 +70,43 @@ func (s *SliceSource) Next() (Contact, bool) {
 	c := s.tr.Contacts[s.i]
 	s.i++
 	return c, true
+}
+
+// Reopen implements Reopenable: the fresh view shares the underlying
+// trace, so reopening costs one small allocation however large the
+// contact list is.
+func (s *SliceSource) Reopen() (Source, error) { return &SliceSource{tr: s.tr}, nil }
+
+// EmpiricalRatesFrom is EmpiricalRates over a streamed trace: it drains
+// the source, applying the same per-contact accumulation in the same
+// order, so for a source streaming a materialized trace's contacts the
+// returned matrix is bit-identical to EmpiricalRates of that trace.
+// Contacts are contract-checked as they are consumed (a stream cannot be
+// validated up front) and a mid-stream source error is propagated.
+func EmpiricalRatesFrom(src Source) (*RateMatrix, error) {
+	nodes, duration := src.Nodes(), src.Duration()
+	rm := NewRateMatrix(nodes)
+	if duration <= 0 {
+		return rm, nil
+	}
+	prevT := 0.0
+	for {
+		c, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := CheckStreamContact(c, prevT, nodes, duration); err != nil {
+			return nil, err
+		}
+		prevT = c.T
+		rm.rates[PairIndex(nodes, c.A, c.B)] += 1 / duration
+	}
+	if es, ok := src.(ErrSource); ok {
+		if err := es.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return rm, nil
 }
 
 // Collect drains a source into a materialized, validated Trace. It is the

@@ -182,3 +182,73 @@ func TestCollectPropagatesStreamError(t *testing.T) {
 		t.Errorf("Collect error %v, want ErrInvalid", err)
 	}
 }
+
+// TestSliceSourceReopen: a drained slice adapter reopens into a fresh
+// view over the same trace.
+func TestSliceSourceReopen(t *testing.T) {
+	tr := sampleTrace()
+	src := tr.Source()
+	if _, err := Collect(src); err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	re, err := src.Reopen()
+	if err != nil {
+		t.Fatalf("Reopen: %v", err)
+	}
+	got, err := Collect(re)
+	if err != nil {
+		t.Fatalf("Collect reopened: %v", err)
+	}
+	if len(got.Contacts) != len(tr.Contacts) {
+		t.Fatalf("reopened source yields %d contacts, want %d", len(got.Contacts), len(tr.Contacts))
+	}
+}
+
+// TestEmpiricalRatesFrom: the streaming estimator must be bit-identical
+// to EmpiricalRates over the same contacts, and must reject contract
+// violations instead of mis-indexing.
+func TestEmpiricalRatesFrom(t *testing.T) {
+	tr := sampleTrace()
+	want := EmpiricalRates(tr)
+	got, err := EmpiricalRatesFrom(tr.Source())
+	if err != nil {
+		t.Fatalf("EmpiricalRatesFrom: %v", err)
+	}
+	for i, w := range want.Rates() {
+		if got.Rates()[i] != w {
+			t.Fatalf("pair %d: rate %g != %g (streaming estimator drifted)", i, got.Rates()[i], w)
+		}
+	}
+
+	bad := &Trace{Nodes: 4, Duration: 100, Contacts: []Contact{{T: 10, A: 0, B: 9}}}
+	if _, err := EmpiricalRatesFrom(bad.Source()); !errors.Is(err, ErrInvalid) {
+		t.Errorf("out-of-range contact: error %v, want ErrInvalid", err)
+	}
+	disordered := &Trace{Nodes: 4, Duration: 100, Contacts: []Contact{
+		{T: 50, A: 0, B: 1}, {T: 10, A: 1, B: 2},
+	}}
+	if _, err := EmpiricalRatesFrom(disordered.Source()); !errors.Is(err, ErrInvalid) {
+		t.Errorf("disordered stream: error %v, want ErrInvalid", err)
+	}
+
+	empty := &Trace{Nodes: 3, Duration: 0}
+	rm, err := EmpiricalRatesFrom(empty.Source())
+	if err != nil {
+		t.Fatalf("zero-duration source: %v", err)
+	}
+	if rm.TotalRate() != 0 {
+		t.Errorf("zero-duration source gives total rate %g, want 0", rm.TotalRate())
+	}
+}
+
+// TestEmpiricalRatesFromPropagatesStreamError mirrors the Collect test:
+// a mid-stream parse error must surface, not truncate silently.
+func TestEmpiricalRatesFromPropagatesStreamError(t *testing.T) {
+	sr, err := NewStreamReader(strings.NewReader("nodes 3\nduration 10\n5 0 1\n2 1 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EmpiricalRatesFrom(sr); !errors.Is(err, ErrInvalid) {
+		t.Errorf("EmpiricalRatesFrom error %v, want ErrInvalid", err)
+	}
+}
