@@ -20,9 +20,17 @@
 // time, and the stream-fused batch path that steps every scheme in
 // lockstep over a single shared contact stream — verifies their outputs
 // are bit-identical, and writes BENCH_batch.json with the per-worker
-// ns/op, bytes/op and allocs/op ratios. CI uploads all three files so
-// regressions — in throughput, scaling, or memory — are visible across
-// commits.
+// ns/op, bytes/op and allocs/op ratios.
+//
+// The adversary benchmark measures the per-contact cost of the
+// misbehavior layer and the hardened QCR reaction: vanilla and hardened
+// QCR each run with adversaries off and under the headline attack
+// (dishonest counter inflation plus free-riders), and BENCH_adversary.json
+// records ns/contact with each cell's overhead relative to the vanilla
+// adversaries-off baseline.
+//
+// CI uploads all four files so regressions — in throughput, scaling, or
+// memory — are visible across commits.
 //
 // Every report carries the emitting commit (git rev-parse HEAD) and the
 // scenario parameters, so artifacts from different commits or workloads
@@ -166,12 +174,14 @@ func main() {
 	out := flag.String("out", "BENCH_trials.json", "output path for the trial-engine JSON report")
 	contactsOut := flag.String("contacts-out", "BENCH_contacts.json", "output path for the contact-pipeline JSON report (empty = skip)")
 	batchOut := flag.String("batch-out", "BENCH_batch.json", "output path for the batch-vs-sequential JSON report (empty = skip)")
+	adversaryOut := flag.String("adversary-out", "BENCH_adversary.json", "output path for the hardened-vs-vanilla QCR JSON report (empty = skip)")
 	trialsOnly := flag.Bool("trials-only", false, "run only the trial-engine benchmark")
 	contactsOnly := flag.Bool("contacts-only", false, "run only the contact-pipeline benchmark")
 	batchOnly := flag.Bool("batch-only", false, "run only the batch-vs-sequential benchmark")
+	adversaryOnly := flag.Bool("adversary-only", false, "run only the adversary-overhead benchmark")
 	flag.Parse()
 
-	only := *trialsOnly || *contactsOnly || *batchOnly
+	only := *trialsOnly || *contactsOnly || *batchOnly || *adversaryOnly
 	if !only || *trialsOnly {
 		if err := run(*short, *workers, *out); err != nil {
 			fmt.Fprintln(os.Stderr, "agebench:", err)
@@ -186,6 +196,12 @@ func main() {
 	}
 	if (!only || *batchOnly) && *batchOut != "" {
 		if err := runBatch(*short, *workers, *batchOut); err != nil {
+			fmt.Fprintln(os.Stderr, "agebench:", err)
+			os.Exit(1)
+		}
+	}
+	if (!only || *adversaryOnly) && *adversaryOut != "" {
+		if err := runAdversary(*short, *adversaryOut); err != nil {
 			fmt.Fprintln(os.Stderr, "agebench:", err)
 			os.Exit(1)
 		}

@@ -59,6 +59,9 @@ var figureIndex = []struct {
 	{"xr", "Ablation: reaction-function comparison"},
 	{"xd", "Robustness: degradation vs p_loss and churn rate (fault injection)"},
 	{"xm", "Robustness: mass-failure recovery, QCR vs static OPT"},
+	{"xa", "Robustness: adversarial workloads — dishonest fraction, counter multiplier, free-riders (hardened vs vanilla QCR)"},
+	{"xf", "Robustness: flash-crowd popularity churn vs rotation period"},
+	{"xn", "Robustness: day/night contact nonstationarity vs night activity factor"},
 }
 
 func main() {
@@ -208,6 +211,24 @@ func runFigure(id string, sc experiment.Scenario, conf synth.ConferenceConfig, v
 		return []*plot.Table{a, b}, nil
 	case "xm":
 		return one(experiment.MassFailureRecovery(sc, utility.Step{Tau: 10}, 0.5))
+	case "xa":
+		a, err := experiment.RobustnessDishonest(sc, utility.Power{Alpha: 0}, nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		b, err := experiment.RobustnessInflation(sc, utility.Power{Alpha: 0}, nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		c, err := experiment.RobustnessFreeRiders(sc, utility.Power{Alpha: 0}, nil)
+		if err != nil {
+			return nil, err
+		}
+		return []*plot.Table{a, b, c}, nil
+	case "xf":
+		return one(experiment.RobustnessFlashCrowd(sc, utility.Power{Alpha: 0}, nil))
+	case "xn":
+		return one(experiment.RobustnessDiurnal(sc, utility.Step{Tau: 10}, nil))
 	default:
 		return nil, fmt.Errorf("unknown figure %q (use -list)", id)
 	}

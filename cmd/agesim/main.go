@@ -7,6 +7,8 @@
 //	agesim -utility power:0 -scheme prop -trace conference
 //	agesim -utility exp:0.1 -scheme opt -trace file -trace-file contacts.txt
 //	agesim -scheme qcr -churn 0.001 -ploss 0.2 -pdrop 0.05 -mandate-ttl 80
+//	agesim -scheme qcrh -dishonest-frac 0.2 -mult 25 -freerider-frac 0.1
+//	agesim -scheme qcr -flash-crowd 500 -night-factor 0.1
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"os"
 	"strings"
 
+	"impatience/internal/adversary"
 	"impatience/internal/demand"
 	"impatience/internal/experiment"
 	"impatience/internal/faults"
@@ -62,12 +65,22 @@ type options struct {
 	mandateTTL  float64
 	retries     int
 	faultScript string
+
+	// Adversarial workload (internal/adversary) and nonstationarity.
+	dishonestFrac float64
+	mult          float64
+	freeRiderFrac float64
+	churnSchedule string
+	flashCrowd    float64
+	nightFactor   float64
+	dayStart      float64
+	dayEnd        float64
 }
 
 func main() {
 	var o options
 	flag.StringVar(&o.utilitySpec, "utility", "step:10", "delay-utility spec: step:τ, exp:ν, power:α, neglog")
-	flag.StringVar(&o.scheme, "scheme", "qcr", "replication scheme: qcr, qcrwom, opt, uni, sqrt, prop, dom")
+	flag.StringVar(&o.scheme, "scheme", "qcr", "replication scheme: qcr, qcrh, qcrwom, opt, uni, sqrt, prop, dom")
 	flag.IntVar(&o.nodes, "nodes", 50, "number of nodes (pure P2P population)")
 	flag.IntVar(&o.items, "items", 50, "catalog size")
 	flag.IntVar(&o.rho, "rho", 5, "cache slots per node")
@@ -96,6 +109,14 @@ func main() {
 	flag.Float64Var(&o.mandateTTL, "mandate-ttl", 0, "mandate time-to-live (minutes; 0 = auto when faults are on)")
 	flag.IntVar(&o.retries, "retries", 5, "content-transfer attempts per mandate before abandoning (0 = unbounded)")
 	flag.StringVar(&o.faultScript, "fault-script", "", "file with a scripted fault timeline (\"<t> <node> down|up\" lines)")
+	flag.Float64Var(&o.dishonestFrac, "dishonest-frac", 0, "fraction of nodes inflating their query counters (0 = off)")
+	flag.Float64Var(&o.mult, "mult", 25, "counter multiplier applied by dishonest nodes (the MULT knob)")
+	flag.Float64Var(&o.freeRiderFrac, "freerider-frac", 0, "fraction of nodes that consume but never serve, store, or carry mandates")
+	flag.StringVar(&o.churnSchedule, "churn-schedule", "", "file with a popularity-churn schedule (\"<t> rotate|swap|zipf|uniform ...\" lines)")
+	flag.Float64Var(&o.flashCrowd, "flash-crowd", 0, "rotate the popularity ranking by one every this many minutes (0 = off)")
+	flag.Float64Var(&o.nightFactor, "night-factor", 1, "night contact-activity factor in (0,1]; < 1 imposes a day/night profile by time change")
+	flag.Float64Var(&o.dayStart, "day-start", 480, "day window start (minute of day) for -night-factor")
+	flag.Float64Var(&o.dayEnd, "day-end", 1200, "day window end (minute of day) for -night-factor")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -104,9 +125,10 @@ func main() {
 	}
 }
 
-// faultPlan translates the fault flags into an experiment.FaultPlan, or
-// nil when every fault class is off (the simulator is then bit-identical
-// to a build without the fault layer).
+// faultPlan translates the fault and adversary flags into an
+// experiment.FaultPlan, or nil when every fault and misbehavior class is
+// off (the simulator is then bit-identical to a build without either
+// layer).
 func (o options) faultPlan() (*experiment.FaultPlan, error) {
 	fc := &faults.Config{
 		ChurnRate:     o.churn,
@@ -132,8 +154,17 @@ func (o options) faultPlan() (*experiment.FaultPlan, error) {
 		}
 		fc.Script = evs
 	}
+	ac, err := o.adversaryConfig()
+	if err != nil {
+		return nil, err
+	}
 	if !fc.Enabled() && o.mandateTTL == 0 {
-		return nil, nil
+		if ac == nil {
+			return nil, nil
+		}
+		// Adversaries without faults: no mandate hardening, so the run
+		// matches the experiment layer's adversary sweeps exactly.
+		return &experiment.FaultPlan{Adversary: ac}, nil
 	}
 	ttl := o.mandateTTL
 	if ttl == 0 {
@@ -142,7 +173,74 @@ func (o options) faultPlan() (*experiment.FaultPlan, error) {
 	if !fc.Enabled() {
 		fc = nil
 	}
-	return &experiment.FaultPlan{Faults: fc, MandateTTL: ttl, MaxAttempts: o.retries}, nil
+	return &experiment.FaultPlan{Faults: fc, Adversary: ac, MandateTTL: ttl, MaxAttempts: o.retries}, nil
+}
+
+// adversaryConfig translates the misbehavior flags into an
+// adversary.Config, or nil when every class is off.
+func (o options) adversaryConfig() (*adversary.Config, error) {
+	ac := &adversary.Config{
+		DishonestFrac: o.dishonestFrac,
+		Mult:          o.mult,
+		FreeRiderFrac: o.freeRiderFrac,
+		Seed:          o.seed ^ 0xadbad,
+	}
+	if o.churnSchedule != "" && o.flashCrowd > 0 {
+		return nil, fmt.Errorf("-churn-schedule and -flash-crowd are mutually exclusive")
+	}
+	pop := demand.Pareto(o.items, o.omega, o.demandRate)
+	switch {
+	case o.churnSchedule != "":
+		f, err := os.Open(o.churnSchedule)
+		if err != nil {
+			return nil, err
+		}
+		s, err := demand.ParseSchedule(f, pop)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		ac.Schedule = s
+	case o.flashCrowd > 0:
+		s, err := synth.FlashCrowd(pop, o.flashCrowd, o.duration, 1)
+		if err != nil {
+			return nil, err
+		}
+		ac.Schedule = s
+	}
+	if !ac.Enabled() {
+		return nil, nil
+	}
+	return ac, nil
+}
+
+// modulated imposes the day/night activity profile on a materialized
+// trace by streaming it through adversary.Modulate and re-collecting the
+// time-changed contacts. The identity profile (-night-factor 1) returns
+// the trace untouched.
+func (o options) modulated(tr *trace.Trace) (*trace.Trace, error) {
+	if o.nightFactor == 1 {
+		return tr, nil
+	}
+	src, err := adversary.DayNight(tr.Source(), o.dayStart, o.dayEnd, o.nightFactor)
+	if err != nil {
+		return nil, err
+	}
+	out := &trace.Trace{Nodes: tr.Nodes, Duration: tr.Duration}
+	out.Contacts = make([]trace.Contact, 0, len(tr.Contacts))
+	for {
+		c, ok := src.Next()
+		if !ok {
+			break
+		}
+		out.Contacts = append(out.Contacts, c)
+	}
+	if es, ok := src.(trace.ErrSource); ok {
+		if err := es.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 func run(o options) error {
@@ -202,6 +300,9 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
+	if tr, err = o.modulated(tr); err != nil {
+		return err
+	}
 	sc.Duration = tr.Duration
 
 	rates := trace.EmpiricalRates(tr)
@@ -238,6 +339,14 @@ func run(o options) error {
 			t.ReplicasLost, t.StickyLost, t.RequestsLost, t.MandatesCrashed)
 		fmt.Printf("hardening       %d mandates dropped in flight, %d expired, %d abandoned, %d sticky re-seeded\n",
 			t.MandatesDropped, t.MandatesExpired, t.MandatesAbandoned, t.StickyReseeded)
+	}
+	if t := res.Adversary; t != nil {
+		fmt.Printf("adversary       %d dishonest / %d free-riders; %d reports inflated, %d serves refused, %d writes refused, %d reactions suppressed, %d demand shifts\n",
+			t.DishonestNodes, t.FreeRiders, t.InflatedReports, t.RefusedServes, t.RefusedWrites, t.SuppressedReactions, t.DemandShifts)
+		if t.CountersCapped > 0 || t.ReactionsClamped > 0 {
+			fmt.Printf("defense         %d counters capped, %d reactions clamped by the hardened reaction\n",
+				t.CountersCapped, t.ReactionsClamped)
+		}
 	}
 
 	// Analytic reference under the memoryless homogeneous approximation.
@@ -286,8 +395,23 @@ func runStream(o options, u utility.Function, sc experiment.Scenario) error {
 
 // traceGen builds the per-trial trace generator for -trials > 1. A trace
 // file is loaded once and shared; the synthetic kinds draw a fresh trace
-// per trial from the engine-provided seed.
+// per trial from the engine-provided seed. The day/night profile, when
+// on, is imposed on every trial's trace.
 func (o options) traceGen(sc experiment.Scenario) (experiment.TraceGen, int, error) {
+	gen, nodes, err := o.baseTraceGen(sc)
+	if err != nil || o.nightFactor == 1 {
+		return gen, nodes, err
+	}
+	return func(seed uint64) (*trace.Trace, error) {
+		tr, err := gen(seed)
+		if err != nil {
+			return nil, err
+		}
+		return o.modulated(tr)
+	}, nodes, nil
+}
+
+func (o options) baseTraceGen(sc experiment.Scenario) (experiment.TraceGen, int, error) {
 	switch o.traceKind {
 	case "homogeneous":
 		return sc.HomogeneousTraces(), o.nodes, nil
@@ -376,6 +500,8 @@ func canonicalScheme(s string) (string, error) {
 	switch strings.ToLower(s) {
 	case "qcr":
 		return experiment.SchemeQCR, nil
+	case "qcrh", "qcr-hardened":
+		return experiment.SchemeQCRH, nil
 	case "qcrwom", "qcr-no-routing":
 		return experiment.SchemeQCRWOM, nil
 	case "opt":

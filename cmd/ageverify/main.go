@@ -24,12 +24,13 @@ import (
 
 func main() {
 	var (
-		quick   = flag.Bool("quick", false, "run the CI-sized suite (default if neither -quick nor -full)")
-		full    = flag.Bool("full", false, "run the nightly ladder (N up to 1000, more trials)")
-		brk     = flag.Bool("break", false, "negative control: simulate the uniform allocation while asserting the optimum; the suite must fail")
-		seed    = flag.Uint64("seed", 1, "base seed; all trial seeds derive from it")
-		workers = flag.Int("workers", 0, "trial worker pool (0 = GOMAXPROCS; results are worker-count invariant)")
-		out     = flag.String("out", "VERIFY.json", "path for the structured report (empty = skip)")
+		quick    = flag.Bool("quick", false, "run the CI-sized suite (default if neither -quick nor -full)")
+		full     = flag.Bool("full", false, "run the nightly ladder (N up to 1000, more trials)")
+		brk      = flag.Bool("break", false, "negative control: simulate the uniform allocation while asserting the optimum; the suite must fail")
+		hardened = flag.Bool("hardened", false, "run the QCR balance check with the adversary-hardened reaction; under zero adversaries it must pass the same gates")
+		seed     = flag.Uint64("seed", 1, "base seed; all trial seeds derive from it")
+		workers  = flag.Int("workers", 0, "trial worker pool (0 = GOMAXPROCS; results are worker-count invariant)")
+		out      = flag.String("out", "VERIFY.json", "path for the structured report (empty = skip)")
 	)
 	flag.Parse()
 	if *quick && *full {
@@ -41,6 +42,7 @@ func main() {
 		Seed:            *seed,
 		Workers:         *workers,
 		BreakAllocation: *brk,
+		Hardened:        *hardened,
 		Progress:        func(line string) { fmt.Println(line) },
 	}
 	rep, err := oracle.Check(cfg)

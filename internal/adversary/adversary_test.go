@@ -1,0 +1,178 @@
+package adversary
+
+import (
+	"math"
+	"testing"
+
+	"impatience/internal/core"
+	"impatience/internal/demand"
+)
+
+func TestConfigValidate(t *testing.T) {
+	pop := demand.Pareto(5, 1, 2)
+	cases := []struct {
+		name string
+		cfg  *Config
+		ok   bool
+	}{
+		{"nil", nil, true},
+		{"zero", &Config{}, true},
+		{"typical", &Config{DishonestFrac: 0.2, Mult: 25, FreeRiderFrac: 0.1}, true},
+		{"schedule", &Config{Schedule: demand.Schedule{{T: 5, Pop: pop}}}, true},
+		{"negative-dishonest", &Config{DishonestFrac: -0.1}, false},
+		{"dishonest-above-one", &Config{DishonestFrac: 1.5}, false},
+		{"nan-dishonest", &Config{DishonestFrac: math.NaN()}, false},
+		{"negative-freerider", &Config{FreeRiderFrac: -0.1}, false},
+		{"freerider-above-one", &Config{FreeRiderFrac: 2}, false},
+		{"nan-freerider", &Config{FreeRiderFrac: math.NaN()}, false},
+		{"fracs-sum-above-one", &Config{DishonestFrac: 0.6, FreeRiderFrac: 0.6}, false},
+		{"negative-mult", &Config{Mult: -2}, false},
+		{"nan-mult", &Config{Mult: math.NaN()}, false},
+		{"inf-mult", &Config{Mult: math.Inf(1)}, false},
+		{"unsorted-schedule", &Config{Schedule: demand.Schedule{
+			{T: 10, Pop: pop}, {T: 5, Pop: pop},
+		}}, false},
+		{"wrong-items-schedule", &Config{Schedule: demand.Schedule{
+			{T: 5, Pop: demand.Pareto(3, 1, 2)},
+		}}, false},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate(5)
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: error expected, got nil", tc.name)
+		}
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	pop := demand.Pareto(5, 1, 2)
+	cases := []struct {
+		name string
+		cfg  *Config
+		want bool
+	}{
+		{"nil", nil, false},
+		{"zero", &Config{}, false},
+		{"dishonest-without-mult", &Config{DishonestFrac: 0.5}, false},
+		{"dishonest-mult-one", &Config{DishonestFrac: 0.5, Mult: 1}, false},
+		{"mult-without-dishonest", &Config{Mult: 25}, false},
+		{"dishonest", &Config{DishonestFrac: 0.5, Mult: 25}, true},
+		{"deflation", &Config{DishonestFrac: 0.5, Mult: 0.5}, true},
+		{"freeriders", &Config{FreeRiderFrac: 0.1}, true},
+		{"schedule", &Config{Schedule: demand.Schedule{{T: 5, Pop: pop}}}, true},
+	}
+	for _, tc := range cases {
+		if got := tc.cfg.Enabled(); got != tc.want {
+			t.Errorf("%s: Enabled = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestNewDisabledReturnsNil(t *testing.T) {
+	in, err := New(nil, 10, 5)
+	if err != nil || in != nil {
+		t.Fatalf("New(nil) = %v, %v; want nil, nil", in, err)
+	}
+	in, err = New(&Config{}, 10, 5)
+	if err != nil || in != nil {
+		t.Fatalf("New(zero) = %v, %v; want nil, nil", in, err)
+	}
+	if _, err = New(&Config{Mult: -1, DishonestFrac: 0.5}, 10, 5); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestRolesDeterministicAndDisjoint(t *testing.T) {
+	cfg := &Config{DishonestFrac: 0.2, Mult: 25, FreeRiderFrac: 0.3, Seed: 42}
+	const nodes = 50
+	a, err := New(cfg, nodes, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg, nodes, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dis, fr int
+	for n := 0; n < nodes; n++ {
+		if a.Dishonest(n) != b.Dishonest(n) || a.FreeRider(n) != b.FreeRider(n) {
+			t.Fatalf("role assignment not deterministic at node %d", n)
+		}
+		if a.Dishonest(n) && a.FreeRider(n) {
+			t.Fatalf("node %d is both dishonest and free-riding", n)
+		}
+		if a.Dishonest(n) {
+			dis++
+		}
+		if a.FreeRider(n) {
+			fr++
+		}
+	}
+	if dis != 10 || fr != 15 {
+		t.Fatalf("roles = %d dishonest, %d free-riders; want 10, 15", dis, fr)
+	}
+	if d, f := a.Roles(); d != dis || f != fr {
+		t.Fatalf("Roles() = %d, %d; want %d, %d", d, f, dis, fr)
+	}
+	// A different seed picks a different subset (overwhelmingly likely).
+	cfg2 := *cfg
+	cfg2.Seed = 43
+	c, err := New(&cfg2, nodes, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for n := 0; n < nodes; n++ {
+		if a.Dishonest(n) != c.Dishonest(n) || a.FreeRider(n) != c.FreeRider(n) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds picked identical role sets")
+	}
+}
+
+func TestMultOneAssignsNoDishonest(t *testing.T) {
+	// Mult 1 is honest reporting: the dishonest fraction is ignored and
+	// those slots are not silently converted to free-riders.
+	in, err := New(&Config{DishonestFrac: 0.5, Mult: 1, FreeRiderFrac: 0.2, Seed: 7}, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, f := in.Roles(); d != 0 || f != 2 {
+		t.Fatalf("roles = %d dishonest, %d free-riders; want 0, 2", d, f)
+	}
+}
+
+func TestInflate(t *testing.T) {
+	in, err := New(&Config{DishonestFrac: 1, Mult: 2.5, Seed: 1}, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ q, want int }{
+		{0, 0},
+		{-3, -3}, // non-positive counters pass through
+		{10, 25},
+		{3, 7}, // floor of 7.5
+	}
+	for _, tc := range cases {
+		if got := in.Inflate(tc.q); got != tc.want {
+			t.Errorf("Inflate(%d) = %d, want %d", tc.q, got, tc.want)
+		}
+	}
+	// Saturation: no multiplier can push a counter past MaxQueryCount.
+	huge, err := New(&Config{DishonestFrac: 1, Mult: 1e12, Seed: 1}, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := huge.Inflate(core.MaxQueryCount); got != core.MaxQueryCount {
+		t.Errorf("Inflate(MaxQueryCount) = %d, want saturation at %d", got, core.MaxQueryCount)
+	}
+	if got := huge.Inflate(7); got != core.MaxQueryCount {
+		t.Errorf("Inflate(7)·1e12 = %d, want saturation at %d", got, core.MaxQueryCount)
+	}
+}

@@ -1,0 +1,95 @@
+package adversary
+
+import (
+	"fmt"
+
+	"impatience/internal/synth"
+	"impatience/internal/trace"
+)
+
+// Contact-rate nonstationarity: a day/night activity profile is imposed
+// on any streamed contact source by deterministic time change. Treating
+// the base stream's clock as operational time, each contact at t maps to
+// Λ⁻¹(t·Λ(D)/D), where Λ is the profile's cumulative activity and D the
+// duration — contacts compress into daytime and stretch across nights
+// while the node count, the duration, the number of contacts, and hence
+// the empirical pairwise rates all stay exactly those of the base
+// stream. A memoryless base source thereby becomes the piecewise
+// nonstationary Poisson process the diurnal robustness experiments need,
+// without materializing anything.
+
+// Modulated is a contact source time-changed through a diurnal profile.
+type Modulated struct {
+	base  trace.Source
+	prof  *synth.Diurnal
+	scale float64
+}
+
+// Modulate wraps base with the profile's time change. The returned
+// source is reopenable iff base is (reopening re-derives the same
+// modulated sequence), and propagates base's mid-stream errors.
+func Modulate(base trace.Source, prof *synth.Diurnal) (trace.Source, error) {
+	d := base.Duration()
+	if !(d > 0) {
+		return nil, fmt.Errorf("adversary: modulating source with duration %g", d)
+	}
+	total := prof.Cumulative(d)
+	if !(total > 0) {
+		return nil, fmt.Errorf("adversary: diurnal profile has zero activity over [0,%g]", d)
+	}
+	m := &Modulated{base: base, prof: prof, scale: total / d}
+	if _, ok := base.(trace.Reopenable); ok {
+		return &reopenableModulated{Modulated: m}, nil
+	}
+	return m, nil
+}
+
+// DayNight is the common case of Modulate: activity 1 inside the
+// [dayStart, dayEnd) minute-of-day window and nightFactor outside it.
+func DayNight(base trace.Source, dayStart, dayEnd, nightFactor float64) (trace.Source, error) {
+	if dayStart < 0 || dayEnd <= dayStart || dayEnd > 1440 {
+		return nil, fmt.Errorf("adversary: day window [%g,%g)", dayStart, dayEnd)
+	}
+	if nightFactor <= 0 || nightFactor > 1 {
+		return nil, fmt.Errorf("adversary: night factor %g outside (0,1]", nightFactor)
+	}
+	return Modulate(base, synth.NewDiurnal(dayStart, dayEnd, nightFactor, base.Duration()))
+}
+
+// Nodes implements trace.Source.
+func (m *Modulated) Nodes() int { return m.base.Nodes() }
+
+// Duration implements trace.Source.
+func (m *Modulated) Duration() float64 { return m.base.Duration() }
+
+// Next implements trace.Source: the base contact with its time pushed
+// through the inverse time change (monotone, so order is preserved).
+func (m *Modulated) Next() (trace.Contact, bool) {
+	c, ok := m.base.Next()
+	if !ok {
+		return c, false
+	}
+	c.T = m.prof.Invert(c.T * m.scale)
+	return c, true
+}
+
+// Err implements trace.ErrSource, propagating the base stream's error.
+func (m *Modulated) Err() error {
+	if es, ok := m.base.(trace.ErrSource); ok {
+		return es.Err()
+	}
+	return nil
+}
+
+// reopenableModulated adds Reopen when the base source supports it.
+type reopenableModulated struct{ *Modulated }
+
+// Reopen implements trace.Reopenable: a rewound base stream re-modulated
+// by the same profile streams the identical contact sequence.
+func (m *reopenableModulated) Reopen() (trace.Source, error) {
+	s, err := m.base.(trace.Reopenable).Reopen()
+	if err != nil {
+		return nil, err
+	}
+	return Modulate(s, m.prof)
+}

@@ -1,0 +1,149 @@
+package adversary
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"impatience/internal/contact"
+	"impatience/internal/synth"
+	"impatience/internal/trace"
+)
+
+func testTrace(t *testing.T, nodes int, mu, duration float64, seed uint64) *trace.Trace {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, seed*2654435761))
+	tr, err := contact.GenerateHomogeneous(nodes, mu, duration, rng)
+	if err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	return tr
+}
+
+func drain(t *testing.T, s trace.Source) []trace.Contact {
+	t.Helper()
+	var out []trace.Contact
+	for {
+		c, ok := s.Next()
+		if !ok {
+			break
+		}
+		out = append(out, c)
+	}
+	if es, ok := s.(trace.ErrSource); ok && es.Err() != nil {
+		t.Fatalf("stream error: %v", es.Err())
+	}
+	return out
+}
+
+// TestModulatePreservesTraceInvariants: the time change keeps the node
+// set, duration, contact count, pair structure and time ordering of the
+// base stream while concentrating contacts into the day window.
+func TestModulatePreservesTraceInvariants(t *testing.T) {
+	const duration = 4 * 1440 // four days
+	tr := testTrace(t, 20, 0.002, duration, 9)
+	base := drain(t, tr.Source())
+
+	mod, err := DayNight(tr.Source(), 480, 1200, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod.Nodes() != 20 || mod.Duration() != duration {
+		t.Fatalf("Nodes/Duration = %d/%g, want 20/%g", mod.Nodes(), mod.Duration(), float64(duration))
+	}
+	got := drain(t, mod)
+	if len(got) != len(base) {
+		t.Fatalf("contact count %d, want %d", len(got), len(base))
+	}
+	prev := math.Inf(-1)
+	day := 0
+	for i, c := range got {
+		if c.A != base[i].A || c.B != base[i].B {
+			t.Fatalf("contact %d pair (%d,%d), want (%d,%d)", i, c.A, c.B, base[i].A, base[i].B)
+		}
+		if c.T < prev {
+			t.Fatalf("contact %d out of order: %g after %g", i, c.T, prev)
+		}
+		if c.T < 0 || c.T > duration {
+			t.Fatalf("contact %d time %g outside [0,%g]", i, c.T, float64(duration))
+		}
+		prev = c.T
+		if m := math.Mod(c.T, 1440); m >= 480 && m < 1200 {
+			day++
+		}
+	}
+	// The day window covers half the clock but carries activity 1 against
+	// 0.1 at night: expect ~91% of contacts in daytime.
+	if frac := float64(day) / float64(len(got)); frac < 0.8 {
+		t.Errorf("daytime contact fraction %.2f, want > 0.8", frac)
+	}
+}
+
+// TestModulateReopenReplays: a reopened modulated source streams the
+// identical sequence — the property the batch harness depends on.
+func TestModulateReopenReplays(t *testing.T) {
+	tr := testTrace(t, 15, 0.003, 2*1440, 5)
+	mod, err := DayNight(tr.Source(), 480, 1200, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro, ok := mod.(trace.Reopenable)
+	if !ok {
+		t.Fatal("modulated slice source is not reopenable")
+	}
+	first := drain(t, mod)
+	again, err := ro.Reopen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := drain(t, again)
+	if len(first) != len(second) {
+		t.Fatalf("replay length %d, want %d", len(second), len(first))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("replay diverges at contact %d: %v vs %v", i, second[i], first[i])
+		}
+	}
+}
+
+// TestModulateFlatProfileIsIdentity: a profile with no night discount is
+// the identity time change.
+func TestModulateFlatProfileIsIdentity(t *testing.T) {
+	tr := testTrace(t, 10, 0.005, 1440, 3)
+	base := drain(t, tr.Source())
+	mod, err := Modulate(tr.Source(), synth.NewDiurnal(0, 1440, 1, 1440))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, mod)
+	for i := range base {
+		if math.Abs(got[i].T-base[i].T) > 1e-9 {
+			t.Fatalf("flat profile moved contact %d: %g vs %g", i, got[i].T, base[i].T)
+		}
+	}
+}
+
+func TestDayNightValidation(t *testing.T) {
+	tr := testTrace(t, 10, 0.005, 1440, 3)
+	bad := []struct {
+		name              string
+		start, end, night float64
+	}{
+		{"negative-start", -10, 1200, 0.5},
+		{"end-before-start", 1200, 480, 0.5},
+		{"end-past-midnight", 480, 1500, 0.5},
+		{"zero-night", 480, 1200, 0},
+		{"night-above-one", 480, 1200, 1.5},
+	}
+	for _, tc := range bad {
+		if _, err := DayNight(tr.Source(), tc.start, tc.end, tc.night); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// A zero-duration base is rejected at wrap time.
+	empty := &trace.Trace{Nodes: 5, Duration: 0}
+	if _, err := DayNight(empty.Source(), 480, 1200, 0.5); err == nil {
+		t.Error("zero-duration base accepted")
+	}
+}

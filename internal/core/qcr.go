@@ -25,6 +25,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"math/rand/v2"
 	"slices"
@@ -47,7 +48,20 @@ type Cache interface {
 	Write(node, item int) bool
 	// StickyNode returns the node holding item's pinned replica, or -1.
 	StickyNode(item int) int
+	// Count returns the number of replicas of item across all caches.
+	// A node learns it only approximately in a real DTN; the hardened
+	// reaction uses it as the supply side of its replica clamp, standing
+	// in for the gossip-estimated count a deployment would carry.
+	Count(item int) int
 }
+
+// MaxQueryCount saturates the query counters: the simulator's per-meeting
+// increment and the adversary layer's counter inflation both stop at this
+// value, so a large per-node multiplier sustained over a long horizon can
+// never overflow the int arithmetic the reaction functions consume. The
+// honest expectation is E[y] = |S|/x_i ≪ 2³¹, so saturation is
+// unreachable without an attack and changes no honest digest.
+const MaxQueryCount = math.MaxInt32
 
 // Policy decides replication. The simulator invokes OnFulfill once per
 // fulfilled request and OnMeeting once per meeting (after fulfillments).
@@ -82,6 +96,21 @@ type FaultAware interface {
 // of pending mandates lost, for the run's fault tally.
 type CrashAware interface {
 	OnCrash(node int) int
+}
+
+// Misbehavior exposes the adversary layer's node roles to a policy. It is
+// implemented by adversary.Injector.
+type Misbehavior interface {
+	// FreeRider reports whether node consumes content without serving:
+	// it refuses cache writes and will not carry replication mandates.
+	FreeRider(node int) bool
+}
+
+// AdversaryAware policies accept misbehavior wiring from the simulator
+// before the run starts, so mandate routing can keep mandates off nodes
+// that would refuse to carry them.
+type AdversaryAware interface {
+	SetMisbehavior(m Misbehavior)
 }
 
 // Static is the no-op policy used for the fixed-allocation competitors
@@ -177,6 +206,56 @@ func ConstantReaction(c float64) ReactionFunc {
 	}
 }
 
+// Hardening bundles the defenses of the rate-limited, clamped ψ reaction
+// against adversarial query counters (dishonest nodes inflating y to game
+// the reaction). All three knobs bound how far a forged counter can move
+// the replica population; none changes the honest fixed point:
+//
+//   - CounterCap saturates the per-fulfillment counter credit. The honest
+//     expectation is E[y] = |S|/x_i ≤ |S| (every item keeps x ≥ 1
+//     replicas), so a cap of a few multiples of |S| never binds on honest
+//     reports while flattening a ×M forged counter.
+//   - SmoothAlpha rate-limits upward excursions of the reaction input:
+//     each item keeps an EWMA ŷ = α·y + (1−α)·ŷ_prev of its capped
+//     reports and the reaction is evaluated at min(y, ŷ), so a single
+//     forged counter earns at most an α-fraction of its lie above the
+//     recent history while reports at or below the running mean pass
+//     through untouched. (Smoothing the input symmetrically would be
+//     worse than nothing: the EWMA's memory of a forged report would
+//     boost every later honest report of the same item, spreading the
+//     lie instead of containing it.) For linear ψ the min against the
+//     running mean is a near-uniform shrink of the effective reaction
+//     scale across items, which slows convergence slightly but does not
+//     move the fixed-point allocation.
+//   - ReplicaClamp bounds an item's supply (current replicas plus pending
+//     mandates) that minting may grow toward, derived from the
+//     water-filling cap of the relaxed optimum: no honest trajectory
+//     needs more than ~1.5× the largest x̃_i, so minting beyond it only
+//     ever serves an attacker.
+//
+// A nil *Hardening on the QCR policy is a strict no-op: the vanilla
+// reaction path runs byte-identically to a build without this type.
+type Hardening struct {
+	CounterCap   int     // saturate the reported counter (0 = off)
+	SmoothAlpha  float64 // EWMA weight of the newest report, in (0,1]; 0 or 1 = off
+	ReplicaClamp int     // per-item supply bound for minting (0 = off)
+}
+
+// Validate checks the hardening knobs' ranges.
+func (h *Hardening) Validate() error {
+	switch {
+	case h == nil:
+		return nil
+	case h.CounterCap < 0:
+		return fmt.Errorf("core: counter cap %d", h.CounterCap)
+	case h.SmoothAlpha < 0 || h.SmoothAlpha > 1 || math.IsNaN(h.SmoothAlpha):
+		return fmt.Errorf("core: smoothing alpha %g outside [0,1]", h.SmoothAlpha)
+	case h.ReplicaClamp < 0:
+		return fmt.Errorf("core: replica clamp %d", h.ReplicaClamp)
+	}
+	return nil
+}
+
 // mandate is one pending replication order. born is when the fulfillment
 // that created it happened (mandates inherited at a handoff keep their
 // original creation time); tries counts content-transfer attempts that
@@ -240,28 +319,39 @@ type QCR struct {
 	// Seed makes the policy's randomized rounding and odd-mandate splits
 	// deterministic.
 	Seed uint64
+	// Hardening enables the rate-limited, clamped reaction against
+	// adversarial query counters. nil keeps the vanilla reaction path
+	// byte-identical to a build without the hardening layer.
+	Hardening *Hardening
 
-	rng       *rand.Rand
-	disruptor Disruptor
-	nodes     int
-	items     int
-	piles     [][]mandate // piles[node*items+item]: pending mandates
-	keys      [][]int32   // per node: sorted items with a non-empty pile
-	scratch   []int32     // reusable union buffer for OnMeeting
-	moved     int         // mandates that changed nodes (routing traffic)
-	created   int         // mandates minted by OnFulfill
-	executed  int         // mandates consumed by replication (incl. rewriting)
-	expired   int         // mandates discarded by TTL expiry
-	abandoned int         // mandates discarded after exhausting MaxAttempts
-	dropped   int         // mandates lost in flight at handoff
+	rng         *rand.Rand
+	disruptor   Disruptor
+	misbehavior Misbehavior
+	ewma        []float64 // per item: smoothed reaction input (0 = no report yet)
+	capped      int       // reports saturated by Hardening.CounterCap
+	clamped     int       // mandates withheld by Hardening.ReplicaClamp
+	nodes       int
+	items       int
+	piles       [][]mandate // piles[node*items+item]: pending mandates
+	keys        [][]int32   // per node: sorted items with a non-empty pile
+	scratch     []int32     // reusable union buffer for OnMeeting
+	moved       int         // mandates that changed nodes (routing traffic)
+	created     int         // mandates minted by OnFulfill
+	executed    int         // mandates consumed by replication (incl. rewriting)
+	expired     int         // mandates discarded by TTL expiry
+	abandoned   int         // mandates discarded after exhausting MaxAttempts
+	dropped     int         // mandates lost in flight at handoff
 }
 
 // Name implements Policy.
 func (q *QCR) Name() string {
-	if q.MandateRouting {
-		return "qcr"
+	if !q.MandateRouting {
+		return "qcr-no-routing"
 	}
-	return "qcr-no-routing"
+	if q.Hardening != nil {
+		return "qcr-hardened"
+	}
+	return "qcr"
 }
 
 // Init implements Policy.
@@ -271,6 +361,10 @@ func (q *QCR) Init(c Cache) {
 	q.piles = make([][]mandate, q.nodes*q.items)
 	q.keys = make([][]int32, q.nodes)
 	q.scratch = nil
+	q.ewma = nil
+	if q.Hardening != nil {
+		q.ewma = make([]float64, q.items)
+	}
 }
 
 // pileAt returns the pending-mandate pile for item at node.
@@ -316,6 +410,18 @@ func removeKey(list []int32, v int32) []int32 {
 // SetDisruptor implements FaultAware: the simulator wires its fault
 // injector in before the run when fault injection is enabled.
 func (q *QCR) SetDisruptor(d Disruptor) { q.disruptor = d }
+
+// SetMisbehavior implements AdversaryAware: the simulator wires the
+// adversary layer's node roles in before the run, so mandate routing
+// steers mandates away from free-riders that would refuse to carry them.
+func (q *QCR) SetMisbehavior(m Misbehavior) { q.misbehavior = m }
+
+// HardeningCounters reports the hardened reaction's interventions:
+// counter reports saturated by CounterCap and mandates withheld by the
+// ReplicaClamp supply bound. Both are zero when Hardening is nil.
+func (q *QCR) HardeningCounters() (capped, clamped int) {
+	return q.capped, q.clamped
+}
 
 // OnCrash implements CrashAware: a crashed node loses its pending
 // mandates along with its cache. Returns the number lost.
@@ -394,7 +500,14 @@ func (q *QCR) addMandates(node, item, n int, born float64) {
 // OnFulfill implements Policy: convert the query count into mandates via
 // the reaction function with randomized rounding (preserving E[replicas]
 // = ψ(y), which the steady-state analysis of Section 5.2 relies on).
+// With Hardening set, the counter credit is saturated and EWMA-smoothed
+// before the reaction, and minting is clamped to the item's remaining
+// supply headroom — see Hardening for why none of this moves the honest
+// fixed point.
 func (q *QCR) OnFulfill(c Cache, node, peer, item, queries int, age, now float64) {
+	if h := q.Hardening; h != nil && queries > 0 {
+		queries = q.hardenedInput(item, queries)
+	}
 	var r float64
 	if q.PerItemReaction != nil {
 		r = q.PerItemReaction(item, queries)
@@ -411,6 +524,16 @@ func (q *QCR) OnFulfill(c Cache, node, peer, item, queries int, age, now float64
 	if q.rng.Float64() < r-math.Floor(r) {
 		k++
 	}
+	if h := q.Hardening; h != nil && h.ReplicaClamp > 0 && k > 0 {
+		room := h.ReplicaClamp - c.Count(item) - q.MandatesFor(item)
+		if room < 0 {
+			room = 0
+		}
+		if k > room {
+			q.clamped += k - room
+			k = room
+		}
+	}
 	if k > 0 {
 		pile := q.pileAt(node, item)
 		for j := 0; j < k; j++ {
@@ -419,6 +542,36 @@ func (q *QCR) OnFulfill(c Cache, node, peer, item, queries int, age, now float64
 		q.setPile(node, item, pile)
 		q.created += k
 	}
+}
+
+// hardenedInput applies the counter cap and the EWMA rate limiter to a
+// reported query counter, returning the integer reaction input
+// min(y, ŷ). The limited value rounds to the nearest integer — counters
+// are integral to begin with and the reaction functions are continuous,
+// so the residual quantization is below the randomized-rounding noise
+// floor.
+func (q *QCR) hardenedInput(item, queries int) int {
+	h := q.Hardening
+	y := queries
+	if h.CounterCap > 0 && y > h.CounterCap {
+		y = h.CounterCap
+		q.capped++
+	}
+	if h.SmoothAlpha > 0 && h.SmoothAlpha < 1 {
+		yf := float64(y)
+		smoothed := yf
+		if prev := q.ewma[item]; prev > 0 {
+			smoothed = h.SmoothAlpha*yf + (1-h.SmoothAlpha)*prev
+		}
+		q.ewma[item] = smoothed
+		if smoothed < yf {
+			y = int(math.Round(smoothed))
+		}
+	}
+	if y < 1 {
+		y = 1
+	}
+	return y
 }
 
 // consume removes the oldest mandate of a pile (FIFO: the mandates that
@@ -559,6 +712,19 @@ func (q *QCR) OnMeeting(c Cache, a, b int, now float64) {
 		}
 		if q.MandateRouting {
 			wantA, _ := q.route(c, a, b, item, len(pa)+len(pb), hasA, hasB)
+			// A free-rider refuses to carry mandates: nothing may cross to
+			// it, and a non-free-riding peer takes everything it holds.
+			if m := q.misbehavior; m != nil {
+				frA, frB := m.FreeRider(a), m.FreeRider(b)
+				switch {
+				case frA && frB:
+					wantA = len(pa)
+				case frA:
+					wantA = 0
+				case frB:
+					wantA = len(pa) + len(pb)
+				}
+			}
 			pa, pb = q.redistribute(pa, pb, wantA)
 		}
 		// Routing traffic: any increase relative to the pre-meeting pile

@@ -34,6 +34,15 @@ func (f *fakeCache) StickyNode(item int) int {
 	}
 	return -1
 }
+func (f *fakeCache) Count(item int) int {
+	var c int
+	for n := 0; n < f.nodes; n++ {
+		if f.Has(n, item) {
+			c++
+		}
+	}
+	return c
+}
 func (f *fakeCache) Write(n, i int) bool {
 	if !f.writeOK || f.Has(n, i) {
 		return false

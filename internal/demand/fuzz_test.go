@@ -1,0 +1,33 @@
+package demand
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSchedule holds the churn-schedule parser to the same contract
+// as faults.ParseTimeline: arbitrary input yields a valid schedule or an
+// error — no panics, no partial results — and every accepted schedule
+// passes Validate against the base catalog.
+func FuzzParseSchedule(f *testing.F) {
+	f.Add("# flash crowd\n10 rotate 1\n20 rotate 1\n")
+	f.Add("")
+	f.Add("5 swap 0 3\n10 zipf 0.5\n15 uniform\n")
+	f.Add("1e9 rotate -7\n")
+	f.Add("nan rotate 1\n")
+	f.Add("10 rotate\n")
+	f.Add("10 swap 0 99\n")
+	f.Add("-5 uniform\n")
+	f.Add("10 zipf inf\n")
+	f.Add("3 rotate 1\n2 rotate 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		base := Pareto(4, 1, 2)
+		s, err := ParseSchedule(strings.NewReader(input), base)
+		if err != nil {
+			return
+		}
+		if err := s.Validate(base.Items()); err != nil {
+			t.Fatalf("accepted schedule fails Validate: %v\ninput: %q", err, input)
+		}
+	})
+}

@@ -1,0 +1,164 @@
+package demand
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Scheduled popularity churn generalizes the single DemandSwitch of the
+// dynamic-demand extension to a whole timeline of popularity changes —
+// the "flash crowd" workloads of the robustness experiments, where the
+// head of the Zipf catalog rotates on a fixed period and a reactive
+// replication scheme must chase it. A Schedule is a pure description;
+// the simulator applies each shift through Process.SetPopularity exactly
+// when the first request at or after its time is drawn.
+
+// Shift is one scheduled popularity change: at time T the demand process
+// switches to Pop.
+type Shift struct {
+	T   float64
+	Pop Popularity
+}
+
+// Schedule is a list of popularity shifts in strictly ascending time
+// order. The zero value (no shifts) is valid and means stationary demand.
+type Schedule []Shift
+
+// Validate checks the schedule against a catalog size: times must be
+// finite, non-negative and strictly ascending, and every shift must carry
+// a valid popularity over exactly items entries. Construction-time
+// validation is deliberate — an unsorted schedule would silently skip
+// shifts at sim time.
+func (s Schedule) Validate(items int) error {
+	prev := math.Inf(-1)
+	for k, sh := range s {
+		if math.IsNaN(sh.T) || math.IsInf(sh.T, 0) || sh.T < 0 {
+			return fmt.Errorf("demand: shift %d has invalid time %g", k, sh.T)
+		}
+		if sh.T <= prev {
+			return fmt.Errorf("demand: shift %d at t=%g not after t=%g (schedule must be strictly ascending)", k, sh.T, prev)
+		}
+		prev = sh.T
+		if sh.Pop.Items() != items {
+			return fmt.Errorf("demand: shift %d has %d items, catalog has %d", k, sh.Pop.Items(), items)
+		}
+		if err := sh.Pop.Validate(); err != nil {
+			return fmt.Errorf("demand: shift %d: %w", k, err)
+		}
+	}
+	return nil
+}
+
+// ParseSchedule reads a popularity-churn schedule in a line-oriented text
+// format, in the spirit of faults.ParseTimeline. Each line transforms the
+// current popularity (starting from base) and schedules the result:
+//
+//	# comments and blank lines are ignored
+//	<t> rotate <k>       rotate item ranks by k positions (flash crowd)
+//	<t> swap <i> <j>     exchange the rates of items i and j
+//	<t> zipf <omega>     reset to Pareto(omega), same aggregate rate
+//	<t> uniform          reset to uniform, same aggregate rate
+//
+// Operations are cumulative: a rotate followed by a swap schedules the
+// swapped rotation. Times must be strictly ascending; malformed input
+// returns an error, never a panic, and never a partial schedule.
+func ParseSchedule(r io.Reader, base Popularity) (Schedule, error) {
+	if err := base.Validate(); err != nil {
+		return nil, err
+	}
+	items := base.Items()
+	if items == 0 {
+		return nil, fmt.Errorf("demand: empty base catalog")
+	}
+	cur := base.Clone()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var out Schedule
+	lineNo := 0
+	prevT := math.Inf(-1)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("demand: line %d: want \"<t> <op> [args]\", got %q", lineNo, line)
+		}
+		t, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil || math.IsNaN(t) || math.IsInf(t, 0) || t < 0 {
+			return nil, fmt.Errorf("demand: line %d: bad time %q", lineNo, fields[0])
+		}
+		if t <= prevT {
+			return nil, fmt.Errorf("demand: line %d: t=%g not after t=%g (schedule must be strictly ascending)", lineNo, t, prevT)
+		}
+		switch op, args := fields[1], fields[2:]; op {
+		case "rotate":
+			if len(args) != 1 {
+				return nil, fmt.Errorf("demand: line %d: rotate wants one argument", lineNo)
+			}
+			k, err := strconv.Atoi(args[0])
+			if err != nil {
+				return nil, fmt.Errorf("demand: line %d: bad rotation %q", lineNo, args[0])
+			}
+			cur = rotated(cur, k)
+		case "swap":
+			if len(args) != 2 {
+				return nil, fmt.Errorf("demand: line %d: swap wants two arguments", lineNo)
+			}
+			i, err1 := strconv.Atoi(args[0])
+			j, err2 := strconv.Atoi(args[1])
+			if err1 != nil || err2 != nil || i < 0 || j < 0 || i >= items || j >= items {
+				return nil, fmt.Errorf("demand: line %d: swap %q %q outside catalog [0,%d)", lineNo, args[0], args[1], items)
+			}
+			cur = cur.Clone()
+			cur.Rates[i], cur.Rates[j] = cur.Rates[j], cur.Rates[i]
+		case "zipf":
+			if len(args) != 1 {
+				return nil, fmt.Errorf("demand: line %d: zipf wants one argument", lineNo)
+			}
+			omega, err := strconv.ParseFloat(args[0], 64)
+			if err != nil || math.IsNaN(omega) || math.IsInf(omega, 0) {
+				return nil, fmt.Errorf("demand: line %d: bad zipf exponent %q", lineNo, args[0])
+			}
+			cur = Pareto(items, omega, base.Total())
+		case "uniform":
+			if len(args) != 0 {
+				return nil, fmt.Errorf("demand: line %d: uniform takes no arguments", lineNo)
+			}
+			cur = Uniform(items, base.Total())
+		default:
+			return nil, fmt.Errorf("demand: line %d: unknown operation %q", lineNo, op)
+		}
+		if err := cur.Validate(); err != nil {
+			return nil, fmt.Errorf("demand: line %d: %w", lineNo, err)
+		}
+		prevT = t
+		out = append(out, Shift{T: t, Pop: cur.Clone()})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// rotated returns a copy of pop with item i's rate moved to item
+// (i+k) mod items — the flash-crowd primitive: the whole rank order
+// shifts, so a formerly cold item inherits the head of the Zipf curve.
+func rotated(pop Popularity, k int) Popularity {
+	n := pop.Items()
+	out := Popularity{Rates: make([]float64, n)}
+	if n == 0 {
+		return out
+	}
+	k = ((k % n) + n) % n
+	for i, d := range pop.Rates {
+		out.Rates[(i+k)%n] = d
+	}
+	return out
+}

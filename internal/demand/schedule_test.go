@@ -1,0 +1,119 @@
+package demand
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestScheduleValidate(t *testing.T) {
+	good := Pareto(4, 1, 2)
+	cases := []struct {
+		name string
+		s    Schedule
+		ok   bool
+	}{
+		{"empty", nil, true},
+		{"one", Schedule{{T: 5, Pop: good}}, true},
+		{"ascending", Schedule{{T: 1, Pop: good}, {T: 2, Pop: good}}, true},
+		{"unsorted", Schedule{{T: 2, Pop: good}, {T: 1, Pop: good}}, false},
+		{"duplicate-time", Schedule{{T: 1, Pop: good}, {T: 1, Pop: good}}, false},
+		{"negative-time", Schedule{{T: -1, Pop: good}}, false},
+		{"nan-time", Schedule{{T: math.NaN(), Pop: good}}, false},
+		{"inf-time", Schedule{{T: math.Inf(1), Pop: good}}, false},
+		{"wrong-items", Schedule{{T: 1, Pop: Pareto(3, 1, 2)}}, false},
+		{"bad-rate", Schedule{{T: 1, Pop: Popularity{Rates: []float64{1, -1, 0, 0}}}}, false},
+	}
+	for _, tc := range cases {
+		err := tc.s.Validate(4)
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: error expected, got nil", tc.name)
+		}
+	}
+}
+
+func TestParseScheduleRotateIsCumulative(t *testing.T) {
+	base := Popularity{Rates: []float64{4, 3, 2, 1}}
+	s, err := ParseSchedule(strings.NewReader("10 rotate 1\n20 rotate 1\n"), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 2 {
+		t.Fatalf("got %d shifts, want 2", len(s))
+	}
+	want1 := []float64{1, 4, 3, 2}
+	want2 := []float64{2, 1, 4, 3}
+	for i := range want1 {
+		if s[0].Pop.Rates[i] != want1[i] {
+			t.Fatalf("shift 0 rates %v, want %v", s[0].Pop.Rates, want1)
+		}
+		if s[1].Pop.Rates[i] != want2[i] {
+			t.Fatalf("shift 1 rates %v, want %v", s[1].Pop.Rates, want2)
+		}
+	}
+	if err := s.Validate(4); err != nil {
+		t.Fatalf("parsed schedule invalid: %v", err)
+	}
+}
+
+func TestParseScheduleOps(t *testing.T) {
+	base := Pareto(5, 1, 2)
+	in := `
+# flash crowd script
+5 swap 0 4
+10 zipf 0.5
+15 uniform
+20 rotate -2
+`
+	s, err := ParseSchedule(strings.NewReader(in), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 4 {
+		t.Fatalf("got %d shifts, want 4", len(s))
+	}
+	// Every scheduled popularity preserves the aggregate rate.
+	for k, sh := range s {
+		if d := math.Abs(sh.Pop.Total() - base.Total()); d > 1e-9 {
+			t.Errorf("shift %d total %g, want %g", k, sh.Pop.Total(), base.Total())
+		}
+	}
+	if s[0].Pop.Rates[0] != base.Rates[4] || s[0].Pop.Rates[4] != base.Rates[0] {
+		t.Errorf("swap not applied: %v", s[0].Pop.Rates)
+	}
+}
+
+func TestParseScheduleRejectsMalformed(t *testing.T) {
+	base := Pareto(4, 1, 2)
+	bad := []string{
+		"10 rotate 1\n5 rotate 1\n",  // unsorted
+		"10 rotate 1\n10 swap 0 1\n", // duplicate time
+		"-1 rotate 1\n",
+		"NaN rotate 1\n",
+		"Inf uniform\n",
+		"10 rotate\n",
+		"10 rotate x\n",
+		"10 swap 0\n",
+		"10 swap 0 9\n",
+		"10 swap -1 0\n",
+		"10 zipf\n",
+		"10 zipf NaN\n",
+		"10 uniform extra\n",
+		"10 explode\n",
+		"10\n",
+	}
+	for _, in := range bad {
+		if _, err := ParseSchedule(strings.NewReader(in), base); err == nil {
+			t.Errorf("no error for %q", in)
+		}
+	}
+}
+
+func TestParseScheduleEmptyBase(t *testing.T) {
+	if _, err := ParseSchedule(strings.NewReader("1 uniform\n"), Popularity{}); err == nil {
+		t.Fatal("empty base catalog accepted")
+	}
+}

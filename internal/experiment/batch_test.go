@@ -75,6 +75,8 @@ func TestBatchMatchesSequentialDigests(t *testing.T) {
 			utility.Step{Tau: 60}, []string{SchemeQCR, SchemeOPT}, false, nil},
 		{"fault-timeline", sc, sc.HomogeneousTraces(), sc.HomogeneousSources(),
 			utility.Step{Tau: 10}, []string{SchemeQCR, SchemeOPT}, true, faultPlan},
+		{"adversary", sc, sc.HomogeneousTraces(), sc.HomogeneousSources(),
+			utility.Power{Alpha: 0}, []string{SchemeQCR, SchemeQCRH, SchemeOPT}, true, adversaryPlan(sc)},
 	}
 	for _, tc := range cases {
 		tc := tc

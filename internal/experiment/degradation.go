@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 
+	"impatience/internal/adversary"
 	"impatience/internal/faults"
 	"impatience/internal/parallel"
 	"impatience/internal/plot"
@@ -13,10 +14,15 @@ import (
 )
 
 // FaultPlan bundles a fault-injection configuration with the hardening
-// knobs the QCR policy uses to survive it. A nil plan (or nil Faults)
-// reproduces the idealized Section 6.1 runs bit for bit.
+// knobs the QCR policy uses to survive it, plus the adversarial-workload
+// configuration of the robustness experiments. A nil plan (or nil Faults
+// and Adversary) reproduces the idealized Section 6.1 runs bit for bit.
 type FaultPlan struct {
 	Faults *faults.Config
+	// Adversary enables the misbehavior-and-drift layer (dishonest
+	// counter inflation, free-riders, scheduled popularity churn) for
+	// every scheme in the plan's trials.
+	Adversary *adversary.Config
 	// MandateTTL and MaxAttempts are applied to QCR-family policies only;
 	// static allocations have no mandates to harden.
 	MandateTTL  float64

@@ -130,6 +130,7 @@ func MemorylessOf(gen TraceGen) TraceGen {
 const (
 	SchemeQCR    = "QCR"
 	SchemeQCRWOM = "QCRWOM" // QCR without mandate routing
+	SchemeQCRH   = "QCRH"   // QCR with the adversary-hardened reaction
 	SchemeOPT    = "OPT"
 	SchemeUNI    = "UNI"
 	SchemeSQRT   = "SQRT"
@@ -206,6 +207,39 @@ func (sc Scenario) qcrPolicy(u utility.Function, mu float64, routing bool, seed 
 	}
 }
 
+// hardenProfile derives the scenario's default hardened-reaction knobs
+// (SchemeQCRH). The counter cap sits at three populations' worth of
+// meetings — the honest expectation is E[y] = |S|/x_i ≤ |S|, so the cap
+// never binds on honest reports while flattening large forged counters.
+// The replica clamp comes from the water-filling optimum: no honest
+// trajectory needs an item's supply beyond ~1.5× the largest relaxed
+// allocation x̃, so minting past it only ever serves an attacker. α=0.25
+// means a forged counter earns at most a quarter of its rise over the
+// item's running mean.
+func (sc Scenario) hardenProfile(u utility.Function, mu float64) *core.Hardening {
+	h := &core.Hardening{
+		CounterCap:   3 * sc.Nodes,
+		SmoothAlpha:  0.25,
+		ReplicaClamp: sc.Nodes,
+	}
+	w := welfare.Homogeneous{
+		Utility: u, Pop: sc.Pop(), Mu: mu,
+		Servers: sc.Nodes, Clients: sc.Nodes,
+	}
+	if xt, err := w.RelaxedOptimal(sc.Rho); err == nil {
+		var xmax float64
+		for _, x := range xt {
+			if x > xmax {
+				xmax = x
+			}
+		}
+		if clamp := int(math.Ceil(1.5 * xmax)); clamp >= 1 && clamp < sc.Nodes {
+			h.ReplicaClamp = clamp
+		}
+	}
+	return h
+}
+
 // RunScheme runs one scheme for one trial on a given trace and returns
 // the simulation result. mu is the ψ plug-in rate (mean empirical rate
 // for heterogeneous traces).
@@ -242,13 +276,17 @@ func (sc Scenario) schemeConfig(scheme string, u utility.Function, rates *trace.
 	}
 	if plan != nil {
 		cfg.Faults = plan.Faults
+		cfg.Adversary = plan.Adversary
 	}
 	switch scheme {
-	case SchemeQCR, SchemeQCRWOM:
-		pol := sc.qcrPolicy(u, mu, scheme == SchemeQCR, sc.Seed*7919+trial)
+	case SchemeQCR, SchemeQCRWOM, SchemeQCRH:
+		pol := sc.qcrPolicy(u, mu, scheme != SchemeQCRWOM, sc.Seed*7919+trial)
 		if plan != nil {
 			pol.MandateTTL = plan.MandateTTL
 			pol.MaxAttempts = plan.MaxAttempts
+		}
+		if scheme == SchemeQCRH {
+			pol.Hardening = sc.hardenProfile(u, mu)
 		}
 		cfg.Policy = pol
 	default:

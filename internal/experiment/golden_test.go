@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"testing"
 
+	"impatience/internal/adversary"
 	"impatience/internal/faults"
 	"impatience/internal/parallel"
 	"impatience/internal/synth"
@@ -93,7 +94,7 @@ func goldenFamilies() []goldenFamily {
 		return sc.Hardening(&fc)
 	}
 
-	return []goldenFamily{
+	return append([]goldenFamily{
 		{"fig3-routing", digestSchemes(sc, sc.HomogeneousTraces(), utility.Power{Alpha: 0},
 			[]string{SchemeQCR, SchemeQCRWOM}, true, nil)},
 		{"fig4-power", digestSchemes(sc, sc.HomogeneousTraces(), utility.Power{Alpha: -1},
@@ -106,6 +107,25 @@ func goldenFamilies() []goldenFamily {
 			[]string{SchemeQCR, SchemeUNI}, false, nil)},
 		{"xd-faults", digestSchemes(sc, sc.HomogeneousTraces(), utility.Step{Tau: 10},
 			[]string{SchemeQCR, SchemeOPT}, true, faultPlan)},
+	}, goldenFamily{"xa-adversary", digestSchemes(sc, sc.HomogeneousTraces(), utility.Power{Alpha: 0},
+		[]string{SchemeQCR, SchemeQCRH, SchemeOPT}, true, adversaryPlan(sc))})
+}
+
+// adversaryPlan mirrors adversarySweep's per-trial adversary seeding:
+// dishonest counter inflation, free-riders, and one mid-run popularity
+// rotation.
+func adversaryPlan(sc Scenario) func(trial int) *FaultPlan {
+	return func(trial int) *FaultPlan {
+		ac := adversary.Config{
+			DishonestFrac: 0.25,
+			Mult:          25,
+			FreeRiderFrac: 0.25,
+			Seed:          sc.Seed*50021 + uint64(trial)*127,
+		}
+		if s, err := synth.FlashCrowd(sc.Pop(), sc.Duration/2, sc.Duration, 1); err == nil {
+			ac.Schedule = s
+		}
+		return &FaultPlan{Adversary: &ac}
 	}
 }
 
@@ -160,6 +180,12 @@ func TestGoldenFiguresWorkerInvariance(t *testing.T) {
 			return DegradationLoss(sc, utility.Step{Tau: 10}, []float64{0, 0.3})
 		}},
 		{"mass-failure", func(sc Scenario) (any, error) { return MassFailureRecovery(sc, utility.Step{Tau: 10}, 0.5) }},
+		{"robustness-dishonest", func(sc Scenario) (any, error) {
+			return RobustnessDishonest(sc, utility.Power{Alpha: 0}, []float64{0, 0.25}, 25)
+		}},
+		{"robustness-diurnal", func(sc Scenario) (any, error) {
+			return RobustnessDiurnal(sc, utility.Step{Tau: 10}, []float64{1, 0.1})
+		}},
 		{"comparison", func(sc Scenario) (any, error) {
 			return sc.RunComparison(utility.Step{Tau: 10}, sc.HomogeneousSources(),
 				[]string{SchemeQCR, SchemeOPT, SchemeUNI})

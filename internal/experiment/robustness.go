@@ -1,0 +1,280 @@
+package experiment
+
+import (
+	"fmt"
+
+	"impatience/internal/adversary"
+	"impatience/internal/parallel"
+	"impatience/internal/plot"
+	"impatience/internal/stats"
+	"impatience/internal/synth"
+	"impatience/internal/trace"
+	"impatience/internal/utility"
+)
+
+// Robustness figure family: the paper derives QCR under honest nodes and
+// stationary demand; these sweeps quantify what each violation costs and
+// how much of it the hardened reaction (SchemeQCRH) wins back. The
+// comparison oracle is the true-demand OPT — a static optimum computed
+// from the real popularity, which adversaries cannot game because it has
+// no reaction to feed.
+
+// adversarySweep runs the scheme set at each misbehavior intensity x,
+// with build(x) describing the adversarial workload, and returns the mean
+// AvgUtilityRate per scheme plus 5%/95% bands for the QCR variants.
+// Every scheme within a trial faces the identical adversary: role
+// assignment depends only on the adversary config, which is shared.
+func (sc Scenario) adversarySweep(u utility.Function, xs []float64, build func(x float64) adversary.Config, schemes []string, title, xlabel string) (*plot.Table, error) {
+	gen := sc.HomogeneousSources()
+	outs, err := parallel.RunTrials(sc.Trials, sc.Workers, sc.Seed, func(trial int, seed uint64) ([][]float64, error) {
+		src, err := gen(seed)
+		if err != nil {
+			return nil, err
+		}
+		// One rates pass, then one lockstep batch pass per intensity over
+		// a reopened view of the same contact sequence.
+		ro, err := asReopenable(src)
+		if err != nil {
+			return nil, err
+		}
+		rates, err := trace.EmpiricalRatesFrom(ro)
+		if err != nil {
+			return nil, err
+		}
+		mu := rates.Mean()
+		rows := make([][]float64, len(schemes)) // scheme → per-x sample
+		for si := range rows {
+			rows[si] = make([]float64, len(xs))
+		}
+		for xi, x := range xs {
+			ac := build(x)
+			ac.Seed = sc.Seed*50021 + uint64(trial)*127 + uint64(xi)
+			plan := &FaultPlan{Adversary: &ac}
+			pass, err := ro.Reopen()
+			if err != nil {
+				return nil, err
+			}
+			results, err := sc.runBatchOn(schemes, u, rates, mu, uint64(trial), false, plan, pass)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: at %s=%g: %w", xlabel, x, err)
+			}
+			for si := range schemes {
+				rows[si][xi] = results[si].AvgUtilityRate
+			}
+		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	per := make(map[string][][]float64, len(schemes)) // scheme → per-x trial samples
+	for _, s := range schemes {
+		per[s] = make([][]float64, len(xs))
+	}
+	for _, rows := range outs {
+		for si, s := range schemes {
+			for xi := range xs {
+				per[s][xi] = append(per[s][xi], rows[si][xi])
+			}
+		}
+	}
+	table := &plot.Table{Title: title, XLabel: xlabel}
+	table.X = append(table.X, xs...)
+	for _, s := range schemes {
+		mean := make([]float64, len(xs))
+		for xi := range xs {
+			mean[xi] = stats.Summarize(per[s][xi]).Mean
+		}
+		if err := table.AddColumn(s, mean); err != nil {
+			return nil, err
+		}
+	}
+	for _, s := range []string{SchemeQCR, SchemeQCRH} {
+		if _, ok := per[s]; !ok {
+			continue
+		}
+		lo := make([]float64, len(xs))
+		hi := make([]float64, len(xs))
+		for xi := range xs {
+			sum := stats.Summarize(per[s][xi])
+			lo[xi], hi[xi] = sum.P5, sum.P95
+		}
+		table.AddColumn(s+" p5", lo)
+		table.AddColumn(s+" p95", hi)
+	}
+	return table, nil
+}
+
+// RobustnessDishonest is the headline degradation curve: a growing
+// fraction of nodes inflates its query counters by mult. Vanilla QCR
+// mints replicas of whatever the liars request, evicting honestly demanded
+// content; the hardened reaction caps, rate-limits and clamps the same
+// reports. OPT, with no reaction to game, bounds what any defense could
+// recover.
+func RobustnessDishonest(sc Scenario, u utility.Function, fracs []float64, mult float64) (*plot.Table, error) {
+	if len(fracs) == 0 {
+		fracs = []float64{0, 0.05, 0.1, 0.2, 0.3, 0.5}
+	}
+	if mult <= 0 {
+		mult = 25
+	}
+	return sc.adversarySweep(u, fracs,
+		func(f float64) adversary.Config { return adversary.Config{DishonestFrac: f, Mult: mult} },
+		[]string{SchemeQCR, SchemeQCRH, SchemeOPT},
+		fmt.Sprintf("Robustness: utility rate vs dishonest-node fraction (×%g counters)", mult),
+		"dishonest fraction")
+}
+
+// RobustnessInflation fixes the dishonest fraction and sweeps the
+// counter multiplier (the MULT knob): how big a lie does it take to
+// collapse vanilla QCR, and where does the hardened reaction saturate
+// the attack.
+func RobustnessInflation(sc Scenario, u utility.Function, mults []float64, frac float64) (*plot.Table, error) {
+	if len(mults) == 0 {
+		mults = []float64{1, 2, 5, 10, 25, 50, 100}
+	}
+	if frac <= 0 || frac > 1 {
+		frac = 0.2
+	}
+	return sc.adversarySweep(u, mults,
+		func(m float64) adversary.Config { return adversary.Config{DishonestFrac: frac, Mult: m} },
+		[]string{SchemeQCR, SchemeQCRH, SchemeOPT},
+		fmt.Sprintf("Robustness: utility rate vs counter multiplier (%.0f%% dishonest)", frac*100),
+		"counter multiplier")
+}
+
+// RobustnessFreeRiders sweeps the fraction of nodes that consume content
+// but never serve, store, or carry mandates. Free-riding shrinks the
+// effective server population for every scheme; QCR additionally loses
+// the refused cache writes its mandates would have performed.
+func RobustnessFreeRiders(sc Scenario, u utility.Function, fracs []float64) (*plot.Table, error) {
+	if len(fracs) == 0 {
+		fracs = []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5}
+	}
+	return sc.adversarySweep(u, fracs,
+		func(f float64) adversary.Config { return adversary.Config{FreeRiderFrac: f} },
+		[]string{SchemeQCR, SchemeQCRH, SchemeOPT},
+		"Robustness: utility rate vs free-rider fraction",
+		"free-rider fraction")
+}
+
+// RobustnessFlashCrowd sweeps demand nonstationarity: the popularity
+// ranking rotates by one position every period minutes (synth.FlashCrowd),
+// so yesterday's cold item is today's flash crowd. The static allocations
+// are tuned to the time-averaged base demand and cannot follow; QCR
+// re-converges after every shift, faster for shorter catalogs than for
+// short periods.
+func RobustnessFlashCrowd(sc Scenario, u utility.Function, periods []float64) (*plot.Table, error) {
+	if len(periods) == 0 {
+		periods = []float64{0, 2000, 1000, 500, 250}
+	}
+	pop := sc.Pop()
+	return sc.adversarySweep(u, periods,
+		func(p float64) adversary.Config {
+			if p <= 0 {
+				return adversary.Config{} // stationary baseline
+			}
+			s, err := synth.FlashCrowd(pop, p, sc.Duration, 1)
+			if err != nil {
+				// Surfaced by Config.Validate inside the run.
+				return adversary.Config{Schedule: nil}
+			}
+			return adversary.Config{Schedule: s}
+		},
+		[]string{SchemeQCR, SchemeQCRH, SchemeUNI, SchemeOPT},
+		"Robustness: utility rate vs popularity-churn period",
+		"rotation period (min)")
+}
+
+// DiurnalSources wraps the scenario's homogeneous contact stream with a
+// day/night activity profile (adversary.Modulate): contacts compress into
+// the [dayStart, dayEnd) minute-of-day window, with nightFactor scaling
+// the remaining night activity. Pairwise empirical rates over the full
+// horizon are untouched, so allocations tuned from them stay comparable.
+func (sc Scenario) DiurnalSources(dayStart, dayEnd, nightFactor float64) SourceGen {
+	base := sc.HomogeneousSources()
+	return func(seed uint64) (trace.Source, error) {
+		src, err := base(seed)
+		if err != nil {
+			return nil, err
+		}
+		return adversary.DayNight(src, dayStart, dayEnd, nightFactor)
+	}
+}
+
+// RobustnessDiurnal sweeps contact nonstationarity: the same contacts are
+// time-changed through ever harsher day/night profiles (12h day window,
+// night activity scaled by each factor; factor 1 is the memoryless
+// baseline). The meeting-rate estimate µ feeding ψ is a whole-horizon
+// average, so QCR's reaction is mistuned at night and overshoots by day —
+// the sweep measures how much that costs against the static allocations,
+// which only care about total meeting counts.
+func RobustnessDiurnal(sc Scenario, u utility.Function, nightFactors []float64) (*plot.Table, error) {
+	if len(nightFactors) == 0 {
+		nightFactors = []float64{1, 0.5, 0.25, 0.1, 0.05}
+	}
+	schemes := []string{SchemeQCR, SchemeQCRH, SchemeUNI, SchemeOPT}
+	outs, err := parallel.RunTrials(sc.Trials, sc.Workers, sc.Seed, func(trial int, seed uint64) ([][]float64, error) {
+		base := sc.HomogeneousSources()
+		src, err := base(seed)
+		if err != nil {
+			return nil, err
+		}
+		ro, err := asReopenable(src)
+		if err != nil {
+			return nil, err
+		}
+		// The time change preserves whole-horizon empirical rates, so one
+		// rates pass over the unmodulated stream serves every profile.
+		rates, err := trace.EmpiricalRatesFrom(ro)
+		if err != nil {
+			return nil, err
+		}
+		mu := rates.Mean()
+		rows := make([][]float64, len(schemes))
+		for si := range rows {
+			rows[si] = make([]float64, len(nightFactors))
+		}
+		for xi, nf := range nightFactors {
+			pass, err := ro.Reopen()
+			if err != nil {
+				return nil, err
+			}
+			if nf < 1 {
+				if pass, err = adversary.DayNight(pass, 480, 1200, nf); err != nil {
+					return nil, err
+				}
+			}
+			results, err := sc.runBatchOn(schemes, u, rates, mu, uint64(trial), false, nil, pass)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: at night factor %g: %w", nf, err)
+			}
+			for si := range schemes {
+				rows[si][xi] = results[si].AvgUtilityRate
+			}
+		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	table := &plot.Table{
+		Title:  "Robustness: utility rate vs day/night contact nonstationarity",
+		XLabel: "night activity factor",
+	}
+	table.X = append(table.X, nightFactors...)
+	for si, s := range schemes {
+		mean := make([]float64, len(nightFactors))
+		for xi := range nightFactors {
+			var sum float64
+			for _, rows := range outs {
+				sum += rows[si][xi]
+			}
+			mean[xi] = sum / float64(len(outs))
+		}
+		if err := table.AddColumn(s, mean); err != nil {
+			return nil, err
+		}
+	}
+	return table, nil
+}

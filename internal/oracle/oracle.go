@@ -51,6 +51,12 @@ type Config struct {
 	// simulates the uniform allocation while asserting the optimal
 	// allocation's closed form. A healthy harness must FAIL.
 	BreakAllocation bool
+	// Hardened runs the QCR replica-balance check with the
+	// adversary-hardened reaction (experiment.SchemeQCRH) instead of the
+	// vanilla one. Under zero adversaries the hardening must not disturb
+	// the Property-1 fixed point, so the same balance and welfare gates
+	// apply unchanged.
+	Hardened bool
 	// Progress, if non-nil, receives one line per completed check.
 	Progress func(string)
 }
@@ -75,7 +81,8 @@ type CheckResult struct {
 type Report struct {
 	Mode       string        `json:"mode"` // "quick" or "full"
 	Seed       uint64        `json:"seed"`
-	Broken     bool          `json:"broken,omitempty"` // negative-control mode
+	Broken     bool          `json:"broken,omitempty"`   // negative-control mode
+	Hardened   bool          `json:"hardened,omitempty"` // QCR check ran with the hardened reaction
 	Pass       bool          `json:"pass"`
 	Checks     []CheckResult `json:"checks"`
 	ElapsedSec float64       `json:"elapsed_sec"`
@@ -157,7 +164,7 @@ func Check(cfg Config) (*Report, error) {
 		mode = "full"
 	}
 	s := &session{cfg: cfg, p: p}
-	rep := &Report{Mode: mode, Seed: cfg.Seed, Broken: cfg.BreakAllocation, Pass: true}
+	rep := &Report{Mode: mode, Seed: cfg.Seed, Broken: cfg.BreakAllocation, Hardened: cfg.Hardened, Pass: true}
 	start := time.Now()
 	for _, c := range s.checks() {
 		t0 := time.Now()

@@ -38,6 +38,14 @@ const (
 func (s *session) checkQCRBalance() CheckResult {
 	res := CheckResult{Pass: true, Seed: s.cfg.Seed}
 	u := utility.Function(utility.Power{Alpha: 0})
+	// With Config.Hardened the same gates run against the hardened
+	// reaction: its rate-limiter and clamp must be inert for honest
+	// reports, so the fixed point — and therefore the distance and
+	// welfare gates — must hold exactly as for vanilla QCR.
+	scheme := experiment.SchemeQCR
+	if s.cfg.Hardened {
+		scheme = experiment.SchemeQCRH
+	}
 	errs := make([]float64, 0, len(s.p.qcrN))
 	for _, n := range s.p.qcrN {
 		sc := s.p.qcrScenario(n, s.cfg)
@@ -67,7 +75,7 @@ func (s *session) checkQCRBalance() CheckResult {
 			if mu <= 0 {
 				return out{}, fmt.Errorf("empty trace")
 			}
-			res, err := sc.RunScheme(experiment.SchemeQCR, u, tr, rates, mu, uint64(trial), true)
+			res, err := sc.RunScheme(scheme, u, tr, rates, mu, uint64(trial), true)
 			if err != nil {
 				return out{}, err
 			}

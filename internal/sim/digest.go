@@ -69,5 +69,18 @@ func (r *Result) Digest() uint64 {
 		wi(t.MandatesAbandoned)
 		wi(t.StickyReseeded)
 	}
+	// Gated on non-nil exactly like the fault tally, so an adversaries-off
+	// run digests identically to one built before the adversary layer.
+	if t := r.Adversary; t != nil {
+		wi(t.DishonestNodes)
+		wi(t.FreeRiders)
+		wi(t.InflatedReports)
+		wi(t.RefusedServes)
+		wi(t.RefusedWrites)
+		wi(t.SuppressedReactions)
+		wi(t.DemandShifts)
+		wi(t.CountersCapped)
+		wi(t.ReactionsClamped)
+	}
 	return h.Sum64()
 }

@@ -27,6 +27,7 @@ import (
 	"slices"
 	"sort"
 
+	"impatience/internal/adversary"
 	"impatience/internal/alloc"
 	"impatience/internal/core"
 	"impatience/internal/demand"
@@ -113,6 +114,15 @@ type Config struct {
 	// serves (or locally fulfills) it after the original holder crashed.
 	Faults *faults.Config
 
+	// Adversary enables the misbehavior-and-drift layer: dishonest nodes
+	// inflating reported query counters, free-riders that consume content
+	// but never serve or carry mandates, and scheduled popularity churn
+	// (flash crowds). nil — or a config whose Enabled() is false — is a
+	// strict no-op: the run is byte-identical to one without the layer.
+	// It composes with Faults: both draw from private RNG streams and can
+	// be active together, in Run and RunBatch alike.
+	Adversary *adversary.Config
+
 	// ServerCount switches the population to the paper's dedicated-node
 	// case (C ∩ S = ∅): nodes [0, ServerCount) are cache-only servers
 	// (kiosks, throwboxes, buses) and the remaining nodes are client-only
@@ -166,6 +176,9 @@ type Result struct {
 	// Faults tallies injected faults and hardening reactions; nil when
 	// fault injection is disabled.
 	Faults *faults.Tally
+	// Adversary tallies injected misbehavior and the hardened reaction's
+	// interventions; nil when the adversary layer is disabled.
+	Adversary *adversary.Tally
 }
 
 // Overhead tallies the communication cost of a run, in protocol units
@@ -195,7 +208,7 @@ type state struct {
 	// the horizon accounting) instead of re-resolving the Utilities
 	// override against the default every time. Built once at setup; the
 	// resolution rule itself lives in resolveUtility.
-	ufns []utility.Function
+	ufns    []utility.Function
 	slots   [][]int32 // per node: item id per slot, -1 when empty
 	stickyS [][]bool  // per node: slot pinned?
 	has     []bool    // node*items + item
@@ -220,6 +233,11 @@ type state struct {
 	tally     faults.Tally
 	down      []bool // per node: currently crashed?
 	truncated bool   // current meeting lost its content-transfer phase
+
+	// Adversary state; adv is nil when the layer is off, and every
+	// misbehavior code path below is gated on it.
+	adv    *adversary.Injector
+	atally adversary.Tally
 }
 
 type request struct {
@@ -239,11 +257,21 @@ func (s *state) Has(node, item int) bool { return s.has[node*s.items+item] }
 // StickyNode implements core.Cache.
 func (s *state) StickyNode(item int) int { return s.stickyN[item] }
 
+// Count implements core.Cache: replicas of item across all caches, from
+// the counter maintained by place/Write/crash (O(1)).
+func (s *state) Count(item int) int { return s.counts[item] }
+
 // Write implements core.Cache: random replacement over non-sticky slots.
 // During a truncated meeting the content payload cannot cross, so every
 // write fails and the driving mandate stays pending for a later retry.
+// A free-riding node refuses to donate cache space to the protocol, so
+// policy writes onto it fail too.
 func (s *state) Write(node, item int) bool {
 	if s.truncated {
+		return false
+	}
+	if s.adv != nil && s.adv.FreeRider(node) {
+		s.atally.RefusedWrites++
 		return false
 	}
 	if s.Has(node, item) {
@@ -443,6 +471,11 @@ type runner struct {
 	ok       bool
 	switched bool
 
+	// Popularity-churn schedule (adversary layer); applied through the
+	// demand process like DemandSwitch, one cursor step per shift.
+	shifts demand.Schedule
+	si     int
+
 	fevents []faults.Event
 	fi      int
 
@@ -600,6 +633,22 @@ func buildRunner(cfg *Config, nodes int, duration float64) (*runner, error) {
 		}
 	}
 
+	// Adversary layer: a nil injector keeps every misbehavior path
+	// dormant; role assignment spends its private RNG stream entirely at
+	// construction, so the layer never perturbs the other streams.
+	s.adv, err = adversary.New(cfg.Adversary, nodes, items)
+	if err != nil {
+		return nil, err
+	}
+	var shifts demand.Schedule
+	if s.adv != nil {
+		shifts = s.adv.Schedule()
+		s.atally.DishonestNodes, s.atally.FreeRiders = s.adv.Roles()
+		if aa, ok := cfg.Policy.(core.AdversaryAware); ok {
+			aa.SetMisbehavior(s.adv)
+		}
+	}
+
 	cfg.Policy.Init(s)
 
 	res := &Result{
@@ -636,6 +685,7 @@ func buildRunner(cfg *Config, nodes int, duration float64) (*runner, error) {
 		checked:  cfg.Trace != nil,
 		proc:     proc,
 		switched: cfg.DemandSwitch == nil,
+		shifts:   shifts,
 		fevents:  fevents,
 		binIdx:   -1,
 		nodes:    nodes,
@@ -713,6 +763,11 @@ func (r *runner) handleArrival(rq demand.Request) {
 		if s.inj != nil && !r.cfg.NoSticky && s.stickyN[rq.Item] < 0 {
 			s.reseed(rq.Node, rq.Item)
 		}
+		if s.adv != nil && s.adv.FreeRider(rq.Node) {
+			// A free-rider consumes without running the protocol.
+			s.atally.SuppressedReactions++
+			return
+		}
 		r.cfg.Policy.OnFulfill(s, rq.Node, rq.Node, rq.Item, 0, 0, rq.T)
 		return
 	}
@@ -732,18 +787,38 @@ func (r *runner) fulfillSide(n, peer int, t float64) {
 		return
 	}
 	base := n * s.items
+	// Misbehavior roles for this side of the meeting, resolved once.
+	var peerRefuses, nFreeRides, nDishonest bool
+	if s.adv != nil {
+		peerRefuses = s.adv.FreeRider(peer)
+		nFreeRides = s.adv.FreeRider(n)
+		nDishonest = s.adv.Dishonest(n)
+	}
 	for i := 0; i < len(list); {
 		item := int(list[i])
 		pending := s.reqs[base+item]
 		// A truncated meeting completes the metadata exchange (the
 		// query counters advance) but loses the item payload: the
 		// request stays open and retries at the next meeting with a
-		// holder.
-		if s.Has(peer, item) && !s.truncated {
+		// holder. A free-riding peer denies holding the item outright:
+		// the request stays open and the counter advances, exactly as
+		// if the peer's cache missed.
+		if s.Has(peer, item) && !s.truncated && !peerRefuses {
 			for _, rq := range pending {
 				q := rq.queries + 1
 				age := t - rq.t0
 				r.record(t, s.utilityFor(item).H(age), item, age, false)
+				switch {
+				case nFreeRides:
+					// A free-rider consumes without running the protocol.
+					s.atally.SuppressedReactions++
+					continue
+				case nDishonest:
+					if inflated := s.adv.Inflate(q); inflated != q {
+						q = inflated
+						s.atally.InflatedReports++
+					}
+				}
 				r.cfg.Policy.OnFulfill(s, n, peer, item, q, age, t)
 			}
 			if s.inj != nil && !s.cfg.NoSticky && s.stickyN[item] < 0 {
@@ -753,8 +828,13 @@ func (r *runner) fulfillSide(n, peer int, t float64) {
 			copy(list[i:], list[i+1:])
 			list = list[:len(list)-1]
 		} else {
+			if peerRefuses && s.Has(peer, item) && !s.truncated {
+				s.atally.RefusedServes++
+			}
 			for k := range pending {
-				pending[k].queries++
+				if pending[k].queries < core.MaxQueryCount {
+					pending[k].queries++
+				}
 			}
 			i++
 		}
@@ -780,6 +860,13 @@ func (r *runner) advanceTo(horizon float64) error {
 					return err
 				}
 				r.switched = true
+			}
+			for r.si < len(r.shifts) && r.next.T >= r.shifts[r.si].T {
+				if err := r.proc.SetPopularity(r.shifts[r.si].Pop); err != nil {
+					return err
+				}
+				r.s.atally.DemandShifts++
+				r.si++
 			}
 			r.handleArrival(r.next)
 			r.next, r.ok = r.proc.Next()
@@ -894,6 +981,13 @@ func (r *runner) finish() (*Result, error) {
 		t := s.tally
 		res.Faults = &t
 	}
+	if s.adv != nil {
+		if hc, ok := cfg.Policy.(interface{ HardeningCounters() (int, int) }); ok {
+			s.atally.CountersCapped, s.atally.ReactionsClamped = hc.HardeningCounters()
+		}
+		t := s.atally
+		res.Adversary = &t
+	}
 	return res, nil
 }
 
@@ -972,6 +1066,9 @@ func validateShared(cfg *Config, nodes int, duration float64) error {
 		return fmt.Errorf("sim: empty catalog")
 	}
 	if err := cfg.Faults.Validate(); err != nil {
+		return err
+	}
+	if err := cfg.Adversary.Validate(cfg.Pop.Items()); err != nil {
 		return err
 	}
 	if cfg.ServerCount < 0 || cfg.ServerCount >= nodes {

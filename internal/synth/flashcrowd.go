@@ -1,0 +1,46 @@
+package synth
+
+import (
+	"fmt"
+
+	"impatience/internal/demand"
+)
+
+// FlashCrowd builds the periodic popularity-churn schedule of the
+// robustness experiments: every period minutes the item ranks rotate by
+// stride positions, so a formerly cold item inherits the head of the
+// Zipf curve — the synthetic stand-in for a breaking-news flash crowd.
+// The rotation is cumulative (after items/stride periods the catalog has
+// fully cycled) and the schedule is deterministic, so two runs of the
+// same configuration replay the identical drift.
+func FlashCrowd(base demand.Popularity, period, duration float64, stride int) (demand.Schedule, error) {
+	switch {
+	case base.Items() == 0:
+		return nil, fmt.Errorf("synth: flash crowd on empty catalog")
+	case !(period > 0):
+		return nil, fmt.Errorf("synth: flash-crowd period %g", period)
+	case !(duration > 0):
+		return nil, fmt.Errorf("synth: flash-crowd duration %g", duration)
+	case stride == 0:
+		return nil, fmt.Errorf("synth: flash-crowd stride 0 (no churn)")
+	}
+	if err := base.Validate(); err != nil {
+		return nil, err
+	}
+	n := base.Items()
+	cur := base.Clone()
+	var out demand.Schedule
+	for t := period; t < duration; t += period {
+		next := demand.Popularity{Rates: make([]float64, n)}
+		k := ((stride % n) + n) % n
+		for i, d := range cur.Rates {
+			next.Rates[(i+k)%n] = d
+		}
+		cur = next
+		out = append(out, demand.Shift{T: t, Pop: cur.Clone()})
+	}
+	if err := out.Validate(n); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

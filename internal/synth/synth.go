@@ -85,7 +85,7 @@ func Conference(cfg ConferenceConfig, rng *rand.Rand) (*trace.Trace, error) {
 		return nil, err
 	}
 	duration := float64(cfg.Days) * 1440
-	prof := newDiurnal(cfg.DayStart, cfg.DayEnd, cfg.NightFactor, duration)
+	prof := NewDiurnal(cfg.DayStart, cfg.DayEnd, cfg.NightFactor, duration)
 
 	// Per-node sociability: lognormal, normalized to mean 1 so MeanRate is
 	// the daytime average pair rate.
@@ -100,7 +100,7 @@ func Conference(cfg ConferenceConfig, rng *rand.Rand) (*trace.Trace, error) {
 	}
 
 	tr := &trace.Trace{Nodes: cfg.Nodes, Duration: duration}
-	opTotal := prof.cumulative(duration)
+	opTotal := prof.Cumulative(duration)
 	for a := 0; a < cfg.Nodes; a++ {
 		for b := a + 1; b < cfg.Nodes; b++ {
 			rate := cfg.MeanRate * soc[a] * soc[b]
@@ -119,7 +119,7 @@ func Conference(cfg ConferenceConfig, rng *rand.Rand) (*trace.Trace, error) {
 				if s >= opTotal {
 					break
 				}
-				tr.Contacts = append(tr.Contacts, trace.Contact{T: prof.invert(s), A: a, B: b})
+				tr.Contacts = append(tr.Contacts, trace.Contact{T: prof.Invert(s), A: a, B: b})
 			}
 		}
 	}
@@ -127,16 +127,23 @@ func Conference(cfg ConferenceConfig, rng *rand.Rand) (*trace.Trace, error) {
 	return tr, tr.Validate()
 }
 
-// diurnal is a piecewise-constant activity profile over [0, duration]
-// repeating daily, with fast cumulative/inverse evaluation.
-type diurnal struct {
+// Diurnal is a piecewise-constant activity profile over [0, duration]
+// repeating daily, with fast cumulative/inverse evaluation. The
+// conference generator uses it to cluster contacts in daytime; the
+// adversary layer's nonstationary contact wrapper reuses it to impose
+// the same day/night cycle on any streamed contact source through the
+// time-change t ↦ Λ⁻¹(t·Λ(D)/D).
+type Diurnal struct {
 	breaks []float64 // ascending real-time breakpoints
 	levels []float64 // activity level on [breaks[i], breaks[i+1])
 	cum    []float64 // cumulative activity at each breakpoint
 }
 
-func newDiurnal(dayStart, dayEnd, nightFactor, duration float64) *diurnal {
-	d := &diurnal{}
+// NewDiurnal builds the daily profile: activity 1 inside the
+// [dayStart, dayEnd) minute-of-day window and nightFactor outside it,
+// repeated over [0, duration].
+func NewDiurnal(dayStart, dayEnd, nightFactor, duration float64) *Diurnal {
+	d := &Diurnal{}
 	t := 0.0
 	day := 0
 	for t < duration {
@@ -170,8 +177,8 @@ func newDiurnal(dayStart, dayEnd, nightFactor, duration float64) *diurnal {
 	return d
 }
 
-// cumulative returns Λ(t) = ∫_0^t activity.
-func (d *diurnal) cumulative(t float64) float64 {
+// Cumulative returns Λ(t) = ∫_0^t activity.
+func (d *Diurnal) Cumulative(t float64) float64 {
 	i := sort.SearchFloat64s(d.breaks, t)
 	if i > 0 && (i == len(d.breaks) || d.breaks[i] != t) {
 		i--
@@ -182,9 +189,9 @@ func (d *diurnal) cumulative(t float64) float64 {
 	return d.cum[i] + d.levels[i]*(t-d.breaks[i])
 }
 
-// invert returns Λ^{-1}(s): the real time at which cumulative activity
+// Invert returns Λ^{-1}(s): the real time at which cumulative activity
 // reaches s.
-func (d *diurnal) invert(s float64) float64 {
+func (d *Diurnal) Invert(s float64) float64 {
 	i := sort.SearchFloat64s(d.cum, s)
 	if i > 0 && (i == len(d.cum) || d.cum[i] != s) {
 		i--

@@ -115,26 +115,26 @@ func TestConferenceConfigValidation(t *testing.T) {
 }
 
 func TestDiurnalCumulativeInverse(t *testing.T) {
-	d := newDiurnal(480, 1200, 0.1, 2*1440)
+	d := NewDiurnal(480, 1200, 0.1, 2*1440)
 	// Λ is nondecreasing; invert is a right inverse on the range.
 	prev := -1.0
 	for tt := 0.0; tt <= 2*1440; tt += 37 {
-		c := d.cumulative(tt)
+		c := d.Cumulative(tt)
 		if c < prev-1e-9 {
 			t.Fatalf("cumulative not monotone at t=%g", tt)
 		}
 		prev = c
-		back := d.invert(c)
-		if math.Abs(d.cumulative(back)-c) > 1e-6 {
-			t.Fatalf("invert not a right inverse at t=%g: Λ(Λ⁻¹(%g))=%g", tt, c, d.cumulative(back))
+		back := d.Invert(c)
+		if math.Abs(d.Cumulative(back)-c) > 1e-6 {
+			t.Fatalf("invert not a right inverse at t=%g: Λ(Λ⁻¹(%g))=%g", tt, c, d.Cumulative(back))
 		}
 	}
 	// Daytime activity accumulates 1 per minute, night 0.1 per minute.
-	gotDay := d.cumulative(1200) - d.cumulative(480)
+	gotDay := d.Cumulative(1200) - d.Cumulative(480)
 	if math.Abs(gotDay-720) > 1e-6 {
 		t.Errorf("daytime cumulative %g, want 720", gotDay)
 	}
-	gotNight := d.cumulative(480) - d.cumulative(0)
+	gotNight := d.Cumulative(480) - d.Cumulative(0)
 	if math.Abs(gotNight-48) > 1e-6 {
 		t.Errorf("night cumulative %g, want 48", gotNight)
 	}
