@@ -29,7 +29,15 @@
 // records ns/contact with each cell's overhead relative to the vanilla
 // adversaries-off baseline.
 //
-// CI uploads all four files so regressions — in throughput, scaling, or
+// The scale benchmark (-scale-only) climbs the structured-rates ladder —
+// community models at N = 10⁴, 10⁵ and (full mode) 10⁶ through the
+// hierarchical sampler and the sharded lockstep executor at shard counts
+// {1, 2, 4, NumCPU} — and writes BENCH_scale.json with per-rung wall
+// time, contacts/sec, speedup versus one shard, a digest-invariance
+// verdict per cell, and the setup bytes-per-node that pins the O(N + C²)
+// state bound.
+//
+// CI uploads all five files so regressions — in throughput, scaling, or
 // memory — are visible across commits.
 //
 // Every report carries the emitting commit (git rev-parse HEAD) and the
@@ -175,13 +183,15 @@ func main() {
 	contactsOut := flag.String("contacts-out", "BENCH_contacts.json", "output path for the contact-pipeline JSON report (empty = skip)")
 	batchOut := flag.String("batch-out", "BENCH_batch.json", "output path for the batch-vs-sequential JSON report (empty = skip)")
 	adversaryOut := flag.String("adversary-out", "BENCH_adversary.json", "output path for the hardened-vs-vanilla QCR JSON report (empty = skip)")
+	scaleOut := flag.String("scale-out", "BENCH_scale.json", "output path for the million-node scale-ladder JSON report (empty = skip)")
 	trialsOnly := flag.Bool("trials-only", false, "run only the trial-engine benchmark")
 	contactsOnly := flag.Bool("contacts-only", false, "run only the contact-pipeline benchmark")
 	batchOnly := flag.Bool("batch-only", false, "run only the batch-vs-sequential benchmark")
 	adversaryOnly := flag.Bool("adversary-only", false, "run only the adversary-overhead benchmark")
+	scaleOnly := flag.Bool("scale-only", false, "run only the structured-rates scale ladder")
 	flag.Parse()
 
-	only := *trialsOnly || *contactsOnly || *batchOnly || *adversaryOnly
+	only := *trialsOnly || *contactsOnly || *batchOnly || *adversaryOnly || *scaleOnly
 	if !only || *trialsOnly {
 		if err := run(*short, *workers, *out); err != nil {
 			fmt.Fprintln(os.Stderr, "agebench:", err)
@@ -202,6 +212,12 @@ func main() {
 	}
 	if (!only || *adversaryOnly) && *adversaryOut != "" {
 		if err := runAdversary(*short, *adversaryOut); err != nil {
+			fmt.Fprintln(os.Stderr, "agebench:", err)
+			os.Exit(1)
+		}
+	}
+	if (!only || *scaleOnly) && *scaleOut != "" {
+		if err := runScale(*short, *scaleOut); err != nil {
 			fmt.Fprintln(os.Stderr, "agebench:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,234 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"impatience/internal/experiment"
+	"impatience/internal/rates"
+	"impatience/internal/utility"
+)
+
+// The scale benchmark is the million-node ladder: structured community
+// rate models at N = 10⁴, 10⁵ and (full mode) 10⁶ driven through the
+// group-decomposed sampler and the sharded lockstep executor at shard
+// counts {1, 2, 4, NumCPU}. Each rung records wall time, contact
+// throughput, the speedup versus the one-shard run, and — because every
+// shard count must be bit-identical — a digest-invariance verdict per
+// cell. Setup allocation is metered separately so the O(N + C²) state
+// bound shows up as a near-constant bytes-per-node figure across three
+// decades of N.
+//
+// Honesty note: the speedup column measures this machine. On a
+// single-core runner (GOMAXPROCS=1) the worker fan-out cannot beat the
+// serial path and the ladder will say so; the digest-invariance column
+// is the portable claim, the throughput columns are provenance-stamped
+// measurements.
+
+// scaleSchemes is the measured scheme set. OPT is structurally excluded:
+// it needs the dense O(N²) rate matrix the scale path exists to avoid.
+var scaleSchemes = []string{experiment.SchemeQCR, experiment.SchemeUNI}
+
+// perNodeRate is the target contact intensity per node, matching the
+// paper-default homogeneous scenario (µ=0.05, N=50 ⇒ 0.05·49 = 2.45
+// contacts per node-minute). Holding it fixed while N grows keeps each
+// node's experience at paper defaults and total contact volume linear in
+// N — the regime where the hierarchical sampler's O(1) draws matter.
+const perNodeRate = 2.45
+
+// scaleRungSpec fixes one ladder rung's workload.
+type scaleRungSpec struct {
+	nodes       int
+	communities int
+	duration    float64 // simulated minutes, sized for ~10⁵–10⁶ contacts
+}
+
+func scaleLadder(short bool) []scaleRungSpec {
+	if short {
+		return []scaleRungSpec{
+			{nodes: 10_000, communities: 32, duration: 4},
+			{nodes: 100_000, communities: 32, duration: 0.8},
+		}
+	}
+	return []scaleRungSpec{
+		{nodes: 10_000, communities: 32, duration: 16},
+		{nodes: 100_000, communities: 32, duration: 2},
+		{nodes: 1_000_000, communities: 32, duration: 0.4},
+	}
+}
+
+// shardLadder is {1, 2, 4, NumCPU}, deduplicated and sorted; the first
+// entry must be 1 because it is both the speedup baseline and the
+// digest reference.
+func shardLadder() []int {
+	set := map[int]bool{1: true, 2: true, 4: true, runtime.NumCPU(): true}
+	var out []int
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+type scaleCell struct {
+	Shards          int     `json:"shards"`
+	WallNs          int64   `json:"wall_ns"`
+	ContactsPerSec  float64 `json:"contacts_per_sec"`
+	SpeedupVs1Shard float64 `json:"speedup_vs_1_shard"`
+	DigestFamily    string  `json:"digest_family"`
+	DigestInvariant bool    `json:"digest_invariant"`
+	PeakHeapBytes   uint64  `json:"peak_heap_bytes"`
+}
+
+type scaleRungReport struct {
+	Nodes             int         `json:"nodes"`
+	Communities       int         `json:"communities"`
+	Items             int         `json:"items"`
+	Rho               int         `json:"rho"`
+	Duration          float64     `json:"duration_min"`
+	MeanPairRate      float64     `json:"mean_pair_rate"`
+	PerNodeRate       float64     `json:"per_node_rate"`
+	Groups            int         `json:"groups"`
+	Contacts          int         `json:"contacts"`
+	SetupAllocBytes   uint64      `json:"setup_alloc_bytes"`
+	SetupBytesPerNode float64     `json:"setup_bytes_per_node"`
+	Cells             []scaleCell `json:"cells"`
+}
+
+type scaleReport struct {
+	Benchmark string `json:"benchmark"`
+	provenance
+	SingleCore bool              `json:"single_core"`
+	Note       string            `json:"note"`
+	Schemes    []string          `json:"schemes"`
+	Rungs      []scaleRungReport `json:"rungs"`
+}
+
+// scaleModel builds the rung's community model with the per-node
+// contact budget split 70% intra-community / 30% cross-community.
+func scaleModel(spec scaleRungSpec) (*rates.Model, error) {
+	perComm := spec.nodes / spec.communities
+	return rates.NewCommunity(rates.CommunityConfig{
+		Nodes:       spec.nodes,
+		Communities: spec.communities,
+		In:          0.7 * perNodeRate / float64(perComm-1),
+		Out:         0.3 * perNodeRate / float64(spec.nodes-perComm),
+	})
+}
+
+// meterSetup measures the allocation of one model + sampler
+// construction, discarding the result. Single-threaded TotalAlloc
+// deltas are exact.
+func meterSetup(spec scaleRungSpec) (uint64, error) {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	m, err := scaleModel(spec)
+	if err != nil {
+		return 0, err
+	}
+	src, err := rates.NewSharded(m, spec.duration, 1, 0)
+	if err != nil {
+		return 0, err
+	}
+	runtime.ReadMemStats(&after)
+	_ = src
+	return after.TotalAlloc - before.TotalAlloc, nil
+}
+
+func runScale(short bool, out string) error {
+	report := scaleReport{
+		Benchmark:  "Scale/StructuredSharded",
+		provenance: stamp(short),
+		SingleCore: runtime.GOMAXPROCS(0) == 1,
+		Schemes:    scaleSchemes,
+	}
+	if report.SingleCore {
+		report.Note = "GOMAXPROCS=1: shard fan-out cannot exceed 1x on this machine; " +
+			"digest_invariant is the portable claim, speedups need a multi-core runner"
+	}
+	for _, spec := range scaleLadder(short) {
+		rung, err := runScaleRung(spec)
+		if err != nil {
+			return fmt.Errorf("N=%d: %w", spec.nodes, err)
+		}
+		report.Rungs = append(report.Rungs, *rung)
+	}
+	return writeJSON(out, report)
+}
+
+func runScaleRung(spec scaleRungSpec) (*scaleRungReport, error) {
+	setupBytes, err := meterSetup(spec)
+	if err != nil {
+		return nil, err
+	}
+	m, err := scaleModel(spec)
+	if err != nil {
+		return nil, err
+	}
+	sc := experiment.Default()
+	sc.Nodes = spec.nodes
+	sc.Items = 4
+	sc.Rho = 2
+	sc.Duration = spec.duration
+	rung := &scaleRungReport{
+		Nodes:             spec.nodes,
+		Communities:       spec.communities,
+		Items:             sc.Items,
+		Rho:               sc.Rho,
+		Duration:          spec.duration,
+		MeanPairRate:      m.MeanPairRate(),
+		PerNodeRate:       perNodeRate,
+		Groups:            rates.DefaultGroups,
+		SetupAllocBytes:   setupBytes,
+		SetupBytesPerNode: float64(setupBytes) / float64(spec.nodes),
+	}
+	// Untimed warm-up: the first run at a new N pays the OS page-fault
+	// bill for growing the heap (at N=10⁶ that is seconds of sys time),
+	// which would otherwise be booked against whichever shard count runs
+	// first and fake a large "speedup" for the rest.
+	sc.Shards = 1
+	if _, err := sc.StructuredScale(utility.Step{Tau: 10}, m, scaleSchemes, 0); err != nil {
+		return nil, fmt.Errorf("warm-up: %w", err)
+	}
+	var baseNs int64
+	var baseDigest uint64
+	for i, shards := range shardLadder() {
+		sc.Shards = shards
+		start := time.Now()
+		rep, err := sc.StructuredScale(utility.Step{Tau: 10}, m, scaleSchemes, 0)
+		if err != nil {
+			return nil, fmt.Errorf("shards=%d: %w", shards, err)
+		}
+		wall := time.Since(start).Nanoseconds()
+		if i == 0 {
+			baseNs = wall
+			baseDigest = rep.DigestFamily
+			rung.Contacts = rep.Contacts
+		}
+		cell := scaleCell{
+			Shards:          shards,
+			WallNs:          wall,
+			ContactsPerSec:  float64(rep.Contacts) / (float64(wall) / 1e9),
+			SpeedupVs1Shard: float64(baseNs) / float64(wall),
+			DigestFamily:    fmt.Sprintf("%#016x", rep.DigestFamily),
+			DigestInvariant: rep.DigestFamily == baseDigest,
+			PeakHeapBytes:   rep.PeakHeapBytes,
+		}
+		rung.Cells = append(rung.Cells, cell)
+		fmt.Printf("N=%-8d shards=%-3d %8.2fs  %10.0f contacts/s  speedup %.2fx  invariant=%v\n",
+			spec.nodes, shards, float64(wall)/1e9, cell.ContactsPerSec,
+			cell.SpeedupVs1Shard, cell.DigestInvariant)
+		if !cell.DigestInvariant {
+			return nil, fmt.Errorf("shards=%d: digest family %#x diverged from 1-shard %#x",
+				shards, rep.DigestFamily, baseDigest)
+		}
+	}
+	fmt.Printf("N=%-8d setup %.1f B/node (%d contacts over %.3g min)\n",
+		spec.nodes, rung.SetupBytesPerNode, rung.Contacts, spec.duration)
+	return rung, nil
+}

@@ -72,6 +72,7 @@ func main() {
 	list := flag.Bool("list", false, "list available figure ids")
 	ascii := flag.Bool("ascii", true, "print ASCII charts")
 	workers := flag.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS); results are identical for any value")
+	shards := flag.Int("shards", 0, "partition each trial's lockstep batch across this many workers; results are identical for any value")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof agefigures <file>)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -81,7 +82,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "agefigures:", err)
 		os.Exit(1)
 	}
-	if err := run(figs, *outDir, *quick, *list, *ascii, *workers); err != nil {
+	if err := run(figs, *outDir, *quick, *list, *ascii, *workers, *shards); err != nil {
 		stop()
 		fmt.Fprintln(os.Stderr, "agefigures:", err)
 		os.Exit(1)
@@ -92,7 +93,7 @@ func main() {
 	}
 }
 
-func run(figs []string, outDir string, quick, list, ascii bool, workers int) error {
+func run(figs []string, outDir string, quick, list, ascii bool, workers, shards int) error {
 	if list {
 		for _, f := range figureIndex {
 			fmt.Printf("  %-4s %s\n", f.id, f.desc)
@@ -106,6 +107,7 @@ func run(figs []string, outDir string, quick, list, ascii bool, workers int) err
 	}
 	sc := experiment.Default()
 	sc.Workers = workers
+	sc.Shards = shards
 	conf := synth.DefaultConference()
 	veh := synth.DefaultVehicular()
 	if quick {

@@ -9,6 +9,7 @@
 //	agesim -scheme qcr -churn 0.001 -ploss 0.2 -pdrop 0.05 -mandate-ttl 80
 //	agesim -scheme qcrh -dishonest-frac 0.2 -mult 25 -freerider-frac 0.1
 //	agesim -scheme qcr -flash-crowd 500 -night-factor 0.1
+//	agesim -scheme qcr -rates community:n=1000000,c=32,in=0.01,out=1e-6 -duration 1 -shards 4
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"impatience/internal/faults"
 	"impatience/internal/parallel"
 	"impatience/internal/prof"
+	"impatience/internal/rates"
 	"impatience/internal/stats"
 	"impatience/internal/synth"
 	"impatience/internal/trace"
@@ -51,6 +53,8 @@ type options struct {
 	warmup      float64
 	showAlloc   bool
 	stream      bool
+	ratesSpec   string
+	shards      int
 	cpuProfile  string
 	memProfile  string
 
@@ -97,6 +101,8 @@ func main() {
 	flag.Float64Var(&o.warmup, "warmup", 0.3, "fraction of the run excluded from averages")
 	flag.BoolVar(&o.showAlloc, "show-alloc", false, "print the final per-item replica counts")
 	flag.BoolVar(&o.stream, "stream", false, "fuse contact generation with the simulation (homogeneous QCR only): contacts are drawn lazily, never materialized")
+	flag.StringVar(&o.ratesSpec, "rates", "", "structured rate model spec (community:n=...,c=...,in=...,out=... | hubspoke:... | distance:...); overrides -trace and -nodes, O(N + C²) state")
+	flag.IntVar(&o.shards, "shards", 0, "partition the lockstep batch across this many workers (with -rates); results are bit-identical for any value")
 	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this file (go tool pprof agesim <file>)")
 	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file on exit")
 	flag.Float64Var(&o.churn, "churn", 0, "node crash rate (crashes per node-minute; 0 = off)")
@@ -263,6 +269,9 @@ func run(o options) error {
 		DemandRate: o.demandRate, Duration: o.duration, Trials: o.trials, Seed: o.seed,
 		Workers: o.workers, QCRScale: o.qcrScale, WarmupFrac: o.warmup,
 	}
+	if o.ratesSpec != "" {
+		return runStructured(o, u, sc)
+	}
 	if o.stream {
 		return runStream(o, u, sc)
 	}
@@ -360,6 +369,73 @@ func run(o options) error {
 	if o.showAlloc {
 		fmt.Printf("final counts    %v\n", res.FinalCounts)
 	}
+	return nil
+}
+
+// runStructured is the -rates path: contacts come from a structured
+// heterogeneous rate model (community, hub-spoke, or distance-kernel)
+// through the group-decomposed sampler, and the simulation runs on the
+// sharded lockstep executor. Nothing O(N²) is ever built — no empirical
+// rate matrix (the ψ plug-in rate is the model's mean pair rate), no
+// materialized trace — which is what admits N ≥ 10⁶. OPT is therefore
+// unavailable here, and the fault/adversary layers are not yet wired
+// through this path.
+func runStructured(o options, u utility.Function, sc experiment.Scenario) error {
+	if o.stream {
+		return fmt.Errorf("-rates and -stream are mutually exclusive (-rates already streams)")
+	}
+	if o.traceKind != "homogeneous" || o.traceFile != "" {
+		return fmt.Errorf("-rates replaces -trace (got -trace %q)", o.traceKind)
+	}
+	if plan, err := o.faultPlan(); err != nil {
+		return err
+	} else if plan != nil {
+		return fmt.Errorf("fault and adversary flags are not supported with -rates yet")
+	}
+	scheme, err := canonicalScheme(o.scheme)
+	if err != nil {
+		return err
+	}
+	m, err := rates.ParseRates(o.ratesSpec)
+	if err != nil {
+		return err
+	}
+	if m.Nodes() != o.nodes && o.nodes != 50 {
+		fmt.Printf("note: rate model has %d nodes; overriding -nodes\n", m.Nodes())
+	}
+	sc.Nodes = m.Nodes()
+	sc.Shards = o.shards
+
+	if o.trials > 1 {
+		cmp, err := sc.RunStructuredComparison(u, m, []string{scheme})
+		if err != nil {
+			return err
+		}
+		sum := cmp.Utility[scheme]
+		fmt.Printf("scheme          %s (structured rates, %d shards)\n", scheme, o.shards)
+		fmt.Printf("utility         %s\n", u.Name())
+		fmt.Printf("rate model      %s: %d nodes, %d communities, mean pair rate %.3g/min\n",
+			o.ratesSpec, m.Nodes(), m.Communities(), m.MeanPairRate())
+		fmt.Printf("trials          %d over %d workers\n", sc.Trials, parallel.Workers(sc.Workers))
+		fmt.Printf("avg utility     %.6g (mean across trials; p5 %.6g, p95 %.6g)\n", sum.Mean, sum.P5, sum.P95)
+		return nil
+	}
+
+	rep, err := sc.StructuredScale(u, m, []string{scheme}, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scheme          %s (structured rates, sharded lockstep)\n", scheme)
+	fmt.Printf("utility         %s\n", u.Name())
+	fmt.Printf("rate model      %s: %d nodes, %d communities, mean pair rate %.3g/min\n",
+		o.ratesSpec, rep.Nodes, rep.Communities, rep.MeanPairRate)
+	fmt.Printf("contacts        %d streamed over %.0f min, %d shards, %d rate groups\n",
+		rep.Contacts, rep.Duration, rep.Shards, rates.DefaultGroups)
+	fmt.Printf("avg utility     %.6g (gain per minute)\n", rep.AvgUtility[0])
+	fmt.Printf("fulfillments    %d\n", rep.Fulfillments)
+	fmt.Printf("peak heap       %.1f MB (O(N + C²) state; a dense rate matrix alone would be %.1f MB)\n",
+		float64(rep.PeakHeapBytes)/1e6, 8*float64(rep.Nodes)*float64(rep.Nodes)/1e6)
+	fmt.Printf("digest family   %#016x (bit-identical at every -shards value)\n", rep.DigestFamily)
 	return nil
 }
 

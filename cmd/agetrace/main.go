@@ -7,6 +7,7 @@
 //
 //	agetrace -kind conference -out conf.txt
 //	agetrace -kind vehicular -nodes 50 -out cabs.txt
+//	agetrace -kind structured -rates community:n=200,c=8,in=0.5,out=0.01 -duration 1000 -stats
 //	agetrace -kind memoryless -in conf.txt -out conf-ml.txt
 //	agetrace -stats -in conf.txt
 package main
@@ -18,6 +19,7 @@ import (
 	"os"
 
 	"impatience/internal/contact"
+	"impatience/internal/rates"
 	"impatience/internal/stats"
 	"impatience/internal/synth"
 	"impatience/internal/trace"
@@ -25,10 +27,11 @@ import (
 
 func main() {
 	var (
-		kind     = flag.String("kind", "conference", "generator: conference, vehicular, homogeneous, memoryless")
+		kind     = flag.String("kind", "conference", "generator: conference, vehicular, homogeneous, structured, memoryless")
 		nodes    = flag.Int("nodes", 50, "number of nodes")
 		mu       = flag.Float64("mu", 0.05, "pair rate for -kind homogeneous")
-		duration = flag.Float64("duration", 5000, "minutes for -kind homogeneous")
+		ratesStr = flag.String("rates", "", "structured rate model spec for -kind structured (community:n=...,c=...,in=...,out=... | hubspoke:... | distance:...)")
+		duration = flag.Float64("duration", 5000, "minutes for -kind homogeneous or structured")
 		days     = flag.Int("days", 3, "days for -kind conference")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		in       = flag.String("in", "", "input trace (for -kind memoryless or -stats)")
@@ -36,13 +39,13 @@ func main() {
 		show     = flag.Bool("stats", false, "print trace statistics")
 	)
 	flag.Parse()
-	if err := run(*kind, *nodes, *mu, *duration, *days, *seed, *in, *out, *show); err != nil {
+	if err := run(*kind, *nodes, *mu, *ratesStr, *duration, *days, *seed, *in, *out, *show); err != nil {
 		fmt.Fprintln(os.Stderr, "agetrace:", err)
 		os.Exit(1)
 	}
 }
 
-func run(kind string, nodes int, mu, duration float64, days int, seed uint64, in, out string, show bool) error {
+func run(kind string, nodes int, mu float64, ratesStr string, duration float64, days int, seed uint64, in, out string, show bool) error {
 	rng := rand.New(rand.NewPCG(seed, seed*2654435761))
 	var tr *trace.Trace
 	var err error
@@ -60,6 +63,8 @@ func run(kind string, nodes int, mu, duration float64, days int, seed uint64, in
 		tr, err = synth.Vehicular(cfg, rng)
 	case kind == "homogeneous":
 		tr, err = contact.GenerateHomogeneous(nodes, mu, duration, rng)
+	case kind == "structured":
+		tr, err = structuredTrace(ratesStr, duration, seed)
 	case kind == "memoryless":
 		if in == "" {
 			return fmt.Errorf("-kind memoryless requires -in")
@@ -83,6 +88,33 @@ func run(kind string, nodes int, mu, duration float64, days int, seed uint64, in
 		fmt.Printf("wrote %s\n", out)
 	}
 	return nil
+}
+
+// maxStructuredNodes bounds -kind structured: this command materializes
+// the trace and printStats builds the O(N²) empirical rate matrix, so it
+// is an inspection tool for moderate populations. The million-node scale
+// path never materializes — see agesim -rates and agebench -scale-only.
+const maxStructuredNodes = 20000
+
+// structuredTrace materializes one realization of a structured
+// heterogeneous rate model (internal/rates) for inspection or saving.
+func structuredTrace(spec string, duration float64, seed uint64) (*trace.Trace, error) {
+	if spec == "" {
+		return nil, fmt.Errorf("-kind structured requires -rates")
+	}
+	m, err := rates.ParseRates(spec)
+	if err != nil {
+		return nil, err
+	}
+	if m.Nodes() > maxStructuredNodes {
+		return nil, fmt.Errorf("materializing %d nodes here would build O(N²) stats; cap is %d (use agesim -rates for the streaming path)",
+			m.Nodes(), maxStructuredNodes)
+	}
+	src, err := rates.NewSharded(m, duration, seed, 0)
+	if err != nil {
+		return nil, err
+	}
+	return trace.Collect(src)
 }
 
 func printStats(tr *trace.Trace) {

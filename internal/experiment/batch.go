@@ -68,12 +68,13 @@ func (sc Scenario) batchConfigs(schemes []string, u utility.Function, rates *tra
 // runBatchOn steps every scheme in lockstep over the given contact pass.
 // rates must be the empirical rate matrix of the same contact sequence
 // (the static allocations are built from it) and mu the ψ plug-in rate.
+// sc.Shards selects the sharded executor (bit-identical; see Scenario).
 func (sc Scenario) runBatchOn(schemes []string, u utility.Function, rates *trace.RateMatrix, mu float64, trial uint64, series bool, plan *FaultPlan, contacts trace.Source) ([]*sim.Result, error) {
 	cfgs, err := sc.batchConfigs(schemes, u, rates, mu, trial, series, plan)
 	if err != nil {
 		return nil, err
 	}
-	return sim.RunBatch(cfgs, contacts)
+	return sim.RunBatchSharded(cfgs, contacts, sc.Shards)
 }
 
 // RunSchemesBatch runs every scheme of one trial over a single shared

@@ -39,6 +39,14 @@ type Scenario struct {
 	// Results are bit-identical for every worker count: per-trial seeds
 	// are pure functions of (Seed, trial) — see internal/parallel.
 	Workers int
+	// Shards partitions each trial's lockstep batch across a worker set
+	// (sim.RunBatchSharded): the shared contact stream is produced once
+	// and every worker steps the scheme runners it owns. ≤ 1 runs the
+	// serial executor. Results are bit-identical at every shard count,
+	// so Shards is purely a throughput knob — unlike Workers it
+	// parallelizes within a trial, which is what the million-node runs
+	// (one trial, many schemes) need.
+	Shards int
 	// QCRScale is the fallback reaction-function proportionality constant,
 	// used when burst normalization cannot be computed.
 	QCRScale float64

@@ -1,0 +1,153 @@
+package experiment
+
+import (
+	"fmt"
+
+	"impatience/internal/parallel"
+	"impatience/internal/rates"
+	"impatience/internal/sim"
+	"impatience/internal/trace"
+	"impatience/internal/utility"
+)
+
+// This file is the structured-rates scale pipeline: trials driven by the
+// hierarchical rate models of internal/rates instead of a dense rate
+// matrix. Two things distinguish it from the homogeneous/empirical
+// paths: the per-trial O(N²) empirical-rate pass is skipped entirely
+// (the ψ plug-in rate comes from the model's MeanPairRate, and OPT —
+// the only scheme that consumes a rate matrix — is rejected), and the
+// contact source is the group-decomposed sampler, so generation itself
+// partitions across shards. Peak state is O(N + C²) end to end, which
+// is what admits the N = 10⁶ rung of the scale ladder.
+
+// StructuredSources adapts a structured rate model to the SourceGen
+// seam: each trial streams the model's contact process through the
+// group-decomposed (Partitionable) sampler with the trial's seed.
+func (sc Scenario) StructuredSources(m *rates.Model) SourceGen {
+	return func(seed uint64) (trace.Source, error) {
+		return rates.NewSharded(m, sc.Duration, seed, 0)
+	}
+}
+
+// checkStructuredSchemes rejects scheme sets the rate-matrix-free path
+// cannot serve.
+func checkStructuredSchemes(schemes []string) error {
+	if len(schemes) == 0 {
+		return fmt.Errorf("experiment: empty scheme set")
+	}
+	for _, s := range schemes {
+		if s == SchemeOPT {
+			return fmt.Errorf("experiment: %s needs the O(N²) rate matrix; the structured scale path cannot build it", SchemeOPT)
+		}
+	}
+	return nil
+}
+
+// RunStructuredComparison is RunComparison over a structured rate model:
+// same trial engine, same aggregation, but no empirical-rate pass — the
+// plug-in rate is the model's mean pair rate and each trial's stream is
+// consumed exactly once. OPT is rejected (it needs the dense matrix), so
+// losses are not normalized against it; Utility summaries carry the
+// comparison.
+func (sc Scenario) RunStructuredComparison(u utility.Function, m *rates.Model, schemes []string) (*Comparison, error) {
+	if err := checkStructuredSchemes(schemes); err != nil {
+		return nil, err
+	}
+	if m.Nodes() != sc.Nodes {
+		return nil, fmt.Errorf("experiment: model has %d nodes, scenario %d", m.Nodes(), sc.Nodes)
+	}
+	mu := m.MeanPairRate()
+	gen := sc.StructuredSources(m)
+	outs, err := parallel.RunTrials(sc.Trials, sc.Workers, sc.Seed, func(trial int, seed uint64) (cmpTrial, error) {
+		src, err := gen(seed)
+		if err != nil {
+			return cmpTrial{}, err
+		}
+		results, err := sc.runBatchOn(schemes, u, nil, mu, uint64(trial), false, nil, src)
+		if err != nil {
+			return cmpTrial{}, err
+		}
+		out := cmpTrial{utility: make([]float64, len(schemes))}
+		for k := range schemes {
+			out.utility[k] = results[k].AvgUtilityRate
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return aggregateComparison(schemes, false, outs), nil
+}
+
+// StructuredReport is one metered structured-rates run: the scale
+// ladder's per-cell measurement. DigestFamily folds every scheme's
+// result digest into one value — equal families across shard counts is
+// the bit-identical-execution check the ladder records.
+type StructuredReport struct {
+	Nodes        int     `json:"nodes"`
+	Communities  int     `json:"communities"`
+	Items        int     `json:"items"`
+	Rho          int     `json:"rho"`
+	Shards       int     `json:"shards"`
+	Duration     float64 `json:"duration"`
+	MeanPairRate float64 `json:"mean_pair_rate"`
+	Contacts     int     `json:"contacts"`
+	// PeakHeapBytes is the sampled live heap during the run — the O(N +
+	// C²) claim made measurable (contrast contacts·24 or the dense
+	// sampler's 12·N²/2).
+	PeakHeapBytes uint64   `json:"peak_heap_bytes"`
+	DigestFamily  uint64   `json:"digest_family"`
+	Schemes       []string `json:"schemes"`
+	AvgUtility    []float64 `json:"avg_utility"`
+	Fulfillments  int      `json:"fulfillments"`
+}
+
+// StructuredScale runs one trial of the given schemes over the model on
+// the sharded executor (sc.Shards) and meters it. The contact stream is
+// counted and heap-sampled through the metering wrapper, which costs the
+// producer the Partitionable fast path for generation — the sim worker
+// fan-out, which dominates, still applies.
+func (sc Scenario) StructuredScale(u utility.Function, m *rates.Model, schemes []string, trial uint64) (*StructuredReport, error) {
+	if err := checkStructuredSchemes(schemes); err != nil {
+		return nil, err
+	}
+	if m.Nodes() != sc.Nodes {
+		return nil, fmt.Errorf("experiment: model has %d nodes, scenario %d", m.Nodes(), sc.Nodes)
+	}
+	mu := m.MeanPairRate()
+	src, err := sc.StructuredSources(m)(parallel.TrialSeed(sc.Seed, int(trial)))
+	if err != nil {
+		return nil, err
+	}
+	metered := newMeteredSource(src)
+	cfgs, err := sc.batchConfigs(schemes, u, nil, mu, trial, false, nil)
+	if err != nil {
+		return nil, err
+	}
+	results, err := sim.RunBatchSharded(cfgs, metered, sc.Shards)
+	if err != nil {
+		return nil, err
+	}
+	metered.sample()
+	rep := &StructuredReport{
+		Nodes:        m.Nodes(),
+		Communities:  m.Communities(),
+		Items:        sc.Items,
+		Rho:          sc.Rho,
+		Shards:       sc.Shards,
+		Duration:     sc.Duration,
+		MeanPairRate: mu,
+		Contacts:     metered.produced,
+		PeakHeapBytes: metered.peak,
+		Schemes:      append([]string(nil), schemes...),
+		AvgUtility:   make([]float64, len(results)),
+	}
+	acc := uint64(0x9e3779b97f4a7c15)
+	for k, r := range results {
+		rep.AvgUtility[k] = r.AvgUtilityRate
+		rep.Fulfillments += r.Fulfillments
+		acc = parallel.SplitMix64(acc ^ r.Digest())
+	}
+	rep.DigestFamily = acc
+	return rep, nil
+}

@@ -101,6 +101,27 @@ func NewAlias(weights []float64) (*Alias, error) {
 // Len returns the number of columns.
 func (a *Alias) Len() int { return len(a.prob) }
 
+// Probabilities reconstructs the exact sampling distribution the table
+// implements: out[i] is the probability Sample returns i, assembled from
+// the per-column keep probabilities and the aliased residues. It is the
+// verification hook of the two-level samplers in internal/rates — their
+// equivalence suite checks that the hierarchical tables reproduce the
+// normalized flat rates to 1e-12, which requires reading the realized
+// distribution back out of the table rather than trusting the builder.
+// O(n); allocates the result slice.
+func (a *Alias) Probabilities() []float64 {
+	n := len(a.prob)
+	out := make([]float64, n)
+	inv := 1 / float64(n)
+	for i, p := range a.prob {
+		out[i] += p * inv
+		if p < 1 {
+			out[a.alias[i]] += (1 - p) * inv
+		}
+	}
+	return out
+}
+
 // Sample draws one index with probability proportional to its weight,
 // using a single uniform: the integer part picks the column, the
 // fractional part decides between the column and its alias. No

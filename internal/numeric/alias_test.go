@@ -155,3 +155,42 @@ func BenchmarkAliasSample(b *testing.B) {
 	}
 	_ = sink
 }
+
+// TestAliasProbabilities checks that the realized distribution read back
+// from the table matches the normalized weights to float accuracy — the
+// guarantee the hierarchical samplers' 1e-12 equivalence suite builds on.
+func TestAliasProbabilities(t *testing.T) {
+	rng := aliasRNG(11)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.IntN(64)
+		w := make([]float64, n)
+		var total float64
+		for i := range w {
+			if rng.Float64() < 0.25 {
+				w[i] = 0 // exercise zero-weight columns
+			} else {
+				w[i] = rng.ExpFloat64()
+			}
+			total += w[i]
+		}
+		if total == 0 {
+			w[0] = 1
+			total = 1
+		}
+		a, err := NewAlias(w)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		p := a.Probabilities()
+		var sum float64
+		for i := range p {
+			sum += p[i]
+			if want := w[i] / total; math.Abs(p[i]-want) > 1e-12 {
+				t.Fatalf("trial %d: P[%d] = %g, want %g (Δ=%g)", trial, i, p[i], want, p[i]-want)
+			}
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("trial %d: probabilities sum to %g", trial, sum)
+		}
+	}
+}

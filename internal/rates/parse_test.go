@@ -1,0 +1,128 @@
+package rates
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestParseRates covers the spec grammar: every valid spec builds the
+// model it names, every malformed spec wraps ErrSpec, and every
+// syntactically fine but semantically invalid spec wraps ErrModel.
+func TestParseRates(t *testing.T) {
+	valid := []struct {
+		spec        string
+		nodes       int
+		communities int
+	}{
+		{"community:n=100", 100, 8},
+		{"community:n=100,c=5,in=0.7,out=0.02", 100, 5},
+		{"hubspoke:n=60", 60, 2},
+		{"hubspoke:n=60,hubs=4,hh=0.9,hs=0.2,ss=0", 60, 2},
+		{"distance:n=50,cells=2x2,w=1000,h=1000,seed=3", 50, 0}, // realized C ≤ 4 depends on placement
+		{"distance:n=50", 50, 0},
+	}
+	for _, v := range valid {
+		m, err := ParseRates(v.spec)
+		if err != nil {
+			t.Errorf("%q: %v", v.spec, err)
+			continue
+		}
+		if m.Nodes() != v.nodes {
+			t.Errorf("%q: %d nodes, want %d", v.spec, m.Nodes(), v.nodes)
+		}
+		if v.communities > 0 && m.Communities() != v.communities {
+			t.Errorf("%q: %d communities, want %d", v.spec, m.Communities(), v.communities)
+		}
+	}
+
+	specErrs := []string{
+		"",                        // no kind
+		"community",               // no colon
+		"erdos:n=100",             // unknown kind
+		"community:n",             // clause without =
+		"community:n=100,",        // empty trailing clause
+		"community:n=100,n=200",   // duplicate key
+		"community:c=5",           // missing n
+		"community:n=ten",         // malformed int
+		"community:n=100,in=x",    // malformed float
+		"community:n=100,hubs=2",  // key of another kind
+		"distance:n=50,cells=4",   // malformed grid
+		"distance:n=50,cells=4xq", // malformed grid dim
+		"distance:n=50,seed=-1",   // seed not uint
+	}
+	for _, s := range specErrs {
+		_, err := ParseRates(s)
+		if err == nil {
+			t.Errorf("%q: accepted", s)
+			continue
+		}
+		if !errors.Is(err, ErrSpec) {
+			t.Errorf("%q: error %v does not wrap ErrSpec", s, err)
+		}
+	}
+
+	modelErrs := []string{
+		"community:n=2,c=5",            // nodes < communities
+		"community:n=100,in=-1",        // negative rate
+		"community:n=100,in=0,out=0",   // zero total
+		"hubspoke:n=10,hubs=10",        // no spokes
+		"hubspoke:n=10,hubs=0",         // no hubs
+		"distance:n=1",                 // one node
+		"distance:n=50,mu0=0",          // zero kernel
+		"distance:n=50,lambda=-5",      // negative decay
+		"distance:n=50,cells=0x4",      // empty grid
+		"community:n=100,in=NaN",       // NaN parses as float, model rejects
+		"community:n=100,out=Inf,in=1", // infinite rate
+	}
+	for _, s := range modelErrs {
+		_, err := ParseRates(s)
+		if err == nil {
+			t.Errorf("%q: accepted", s)
+			continue
+		}
+		if !errors.Is(err, ErrModel) {
+			t.Errorf("%q: error %v does not wrap ErrModel", s, err)
+		}
+	}
+}
+
+// FuzzParseRates fuzzes the CLI-facing spec parser: no input may panic,
+// and any accepted spec must yield a usable model (≥ 2 nodes, positive
+// finite total rate, and a sane community partition).
+func FuzzParseRates(f *testing.F) {
+	for _, s := range DefaultSpecs() {
+		f.Add(s)
+	}
+	f.Add("community:n=100,c=5,in=0.7,out=0.02")
+	f.Add("hubspoke:n=60,hubs=4,hh=0.9,hs=0.2,ss=0")
+	f.Add("distance:n=50,cells=2x3,mu0=0.5,lambda=100,w=1000,h=1000,seed=3")
+	f.Add("community:n=1e9")
+	f.Add("community:n=100,c=-1")
+	f.Add(":::")
+	f.Add("community:n=2,c=1,in=1e308,out=1e308")
+	f.Fuzz(func(t *testing.T, spec string) {
+		// Huge populations are valid specs but allocate O(N); keep the
+		// fuzzer away from multi-GB model construction.
+		if len(spec) > 256 {
+			return
+		}
+		m, err := ParseRates(spec)
+		if err != nil {
+			if !errors.Is(err, ErrSpec) && !errors.Is(err, ErrModel) {
+				t.Fatalf("%q: error %v wraps neither ErrSpec nor ErrModel", spec, err)
+			}
+			return
+		}
+		if m.Nodes() < 2 {
+			t.Fatalf("%q: model with %d nodes", spec, m.Nodes())
+		}
+		tot := m.TotalRate()
+		if !(tot > 0) || math.IsInf(tot, 0) || math.IsNaN(tot) {
+			t.Fatalf("%q: total rate %g", spec, tot)
+		}
+		if c := m.Communities(); c < 1 || c > m.Nodes() {
+			t.Fatalf("%q: %d communities for %d nodes", spec, c, m.Nodes())
+		}
+	})
+}

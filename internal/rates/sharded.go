@@ -1,0 +1,276 @@
+package rates
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"impatience/internal/numeric"
+	"impatience/internal/parallel"
+	"impatience/internal/trace"
+)
+
+// DefaultGroups is the number of independent block-group sub-streams a
+// ShardedSource decomposes into. The group count — not the shard count —
+// defines the canonical contact sequence, so it must stay fixed while
+// shards vary; 32 groups keep the serial merge heap shallow (5
+// comparisons per contact) while leaving enough parallel slack for any
+// realistic core count.
+const DefaultGroups = 32
+
+// groupSource streams the sub-process of the block pairs assigned to one
+// group (block pair k belongs to group k mod groups): a Poisson clock at
+// the group's aggregate rate plus the same two-level endpoint draw as
+// Source, with an RNG derived from the parent seed by the group's fixed
+// SplitMix64 sub-stream. Distinct groups are independent by
+// construction, so any time-ordered merge of all groups reproduces one
+// well-defined contact process regardless of how the groups are batched
+// onto shards.
+type groupSource struct {
+	m        *Model
+	member   []*numeric.Alias
+	duration float64
+	total    float64 // this group's aggregate rate
+	top      *numeric.Alias
+	idx      []int32 // indices into m.pairC
+	rng      *rand.Rand
+	t        float64
+	done     bool
+}
+
+func (g *groupSource) Nodes() int        { return g.m.nodes }
+func (g *groupSource) Duration() float64 { return g.duration }
+
+func (g *groupSource) Next() (trace.Contact, bool) {
+	if g.done {
+		return trace.Contact{}, false
+	}
+	g.t += g.rng.ExpFloat64() / g.total
+	if g.t > g.duration {
+		g.done = true
+		return trace.Contact{}, false
+	}
+	cd := g.m.pairC[g.idx[g.top.Sample(g.rng)]]
+	a, b := samplePair(g.m, g.member, int(cd[0]), int(cd[1]), g.rng)
+	return trace.Contact{T: g.t, A: a, B: b}, true
+}
+
+// contactLess is the canonical merge order: time, then endpoints
+// lexicographically. A contact is exactly its key, so two contacts that
+// compare equal are interchangeable — which is why the merged sequence
+// is invariant to how the group sources are partitioned.
+func contactLess(x, y trace.Contact) bool {
+	if x.T != y.T {
+		return x.T < y.T
+	}
+	if x.A != y.A {
+		return x.A < y.A
+	}
+	return x.B < y.B
+}
+
+// merged is a k-way merge of independent, individually ordered contact
+// sources, ordered by contactLess. It implements trace.Source; each Next
+// is one heap pop plus one refill (O(log k)).
+type merged struct {
+	nodes    int
+	duration float64
+	srcs     []trace.Source
+	heads    []trace.Contact // binary min-heap, parallel to srcs
+}
+
+// newMerged primes the heap with each source's first contact; exhausted
+// sources drop out immediately.
+func newMerged(nodes int, duration float64, srcs []trace.Source) *merged {
+	mg := &merged{nodes: nodes, duration: duration}
+	for _, s := range srcs {
+		if c, ok := s.Next(); ok {
+			mg.srcs = append(mg.srcs, s)
+			mg.heads = append(mg.heads, c)
+		}
+	}
+	for i := len(mg.heads)/2 - 1; i >= 0; i-- {
+		mg.siftDown(i)
+	}
+	return mg
+}
+
+func (mg *merged) Nodes() int        { return mg.nodes }
+func (mg *merged) Duration() float64 { return mg.duration }
+
+func (mg *merged) Next() (trace.Contact, bool) {
+	if len(mg.heads) == 0 {
+		return trace.Contact{}, false
+	}
+	c := mg.heads[0]
+	if nc, ok := mg.srcs[0].Next(); ok {
+		mg.heads[0] = nc
+	} else {
+		last := len(mg.heads) - 1
+		mg.heads[0], mg.srcs[0] = mg.heads[last], mg.srcs[last]
+		mg.heads, mg.srcs = mg.heads[:last], mg.srcs[:last]
+	}
+	if len(mg.heads) > 0 {
+		mg.siftDown(0)
+	}
+	return c, true
+}
+
+func (mg *merged) siftDown(i int) {
+	n := len(mg.heads)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && contactLess(mg.heads[l], mg.heads[min]) {
+			min = l
+		}
+		if r < n && contactLess(mg.heads[r], mg.heads[min]) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		mg.heads[i], mg.heads[min] = mg.heads[min], mg.heads[i]
+		mg.srcs[i], mg.srcs[min] = mg.srcs[min], mg.srcs[i]
+		i = min
+	}
+}
+
+// ShardedSource streams the same structured contact process as a merge
+// of `groups` independent block-group sub-streams, each with its own
+// SplitMix64-derived RNG. Because the groups — not the shards — carry
+// the randomness, the sequence is bit-identical however the groups are
+// batched: drained serially through Next, or split across workers with
+// Partition and re-merged by (T, A, B). It implements trace.Source,
+// trace.Reopenable, and trace.Partitionable.
+type ShardedSource struct {
+	m        *Model
+	duration float64
+	seed     uint64
+	groups   int
+	member   []*numeric.Alias
+	mg       *merged
+	started  bool
+}
+
+// NewSharded builds the group-decomposed sampler. groups ≤ 0 selects
+// DefaultGroups; the effective count is capped at the number of
+// positive-rate block pairs (a group cannot own less than one block
+// pair). The contact sequence is a pure function of (model, duration,
+// seed, groups) — vary groups and the sequence changes, so hold it fixed
+// across runs that must compare digests.
+func NewSharded(m *Model, duration float64, seed uint64, groups int) (*ShardedSource, error) {
+	if duration <= 0 {
+		return nil, fmt.Errorf("rates: duration %g not positive", duration)
+	}
+	if groups <= 0 {
+		groups = DefaultGroups
+	}
+	if groups > len(m.pairC) {
+		groups = len(m.pairC)
+	}
+	member, err := m.memberAliases()
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedSource{m: m, duration: duration, seed: seed, groups: groups, member: member}, nil
+}
+
+// Groups returns the effective group count.
+func (s *ShardedSource) Groups() int { return s.groups }
+
+// Model returns the rate model the source samples from.
+func (s *ShardedSource) Model() *Model { return s.m }
+
+// Nodes implements trace.Source.
+func (s *ShardedSource) Nodes() int { return s.m.nodes }
+
+// Duration implements trace.Source.
+func (s *ShardedSource) Duration() float64 { return s.duration }
+
+// group builds group g's sub-stream from scratch (alias over its block
+// pairs, RNG from the fixed per-group sub-seed).
+func (s *ShardedSource) group(g int) (*groupSource, error) {
+	gs := &groupSource{m: s.m, member: s.member, duration: s.duration}
+	for k := g; k < len(s.m.pairC); k += s.groups {
+		gs.idx = append(gs.idx, int32(k))
+		gs.total += s.m.pairW[k]
+	}
+	w := make([]float64, len(gs.idx))
+	for i, k := range gs.idx {
+		w[i] = s.m.pairW[k]
+	}
+	top, err := numeric.NewAlias(w)
+	if err != nil {
+		return nil, fmt.Errorf("rates: group %d table: %w", g, err)
+	}
+	gs.top = top
+	sub := parallel.TrialSeed(s.seed, g)
+	gs.rng = rand.New(rand.NewPCG(sub, sub^0x9e3779b97f4a7c15))
+	return gs, nil
+}
+
+// buildAll constructs every group sub-stream.
+func (s *ShardedSource) buildAll() ([]trace.Source, error) {
+	out := make([]trace.Source, s.groups)
+	for g := 0; g < s.groups; g++ {
+		gs, err := s.group(g)
+		if err != nil {
+			return nil, err
+		}
+		out[g] = gs
+	}
+	return out, nil
+}
+
+// Next implements trace.Source by lazily merging all groups in-process.
+func (s *ShardedSource) Next() (trace.Contact, bool) {
+	if s.mg == nil {
+		if s.started {
+			return trace.Contact{}, false // partitioned away: receiver is drained
+		}
+		srcs, err := s.buildAll()
+		if err != nil {
+			// Construction validated everything that can fail here; treat
+			// an impossible failure as an empty stream rather than panic.
+			s.started = true
+			return trace.Contact{}, false
+		}
+		s.mg = newMerged(s.m.nodes, s.duration, srcs)
+		s.started = true
+	}
+	return s.mg.Next()
+}
+
+// Reopen implements trace.Reopenable.
+func (s *ShardedSource) Reopen() (trace.Source, error) {
+	return NewSharded(s.m, s.duration, s.seed, s.groups)
+}
+
+// Partition implements trace.Partitionable: it deals the group
+// sub-streams round-robin into at most max individually ordered sources
+// (each itself a merge of its groups) and reports false once the
+// receiver has started streaming — a partially drained source cannot
+// split without replaying. After a successful Partition the receiver is
+// drained; the handed-out sources own the process.
+func (s *ShardedSource) Partition(max int) ([]trace.Source, bool) {
+	if s.started || max < 1 {
+		return nil, false
+	}
+	if max > s.groups {
+		max = s.groups
+	}
+	all, err := s.buildAll()
+	if err != nil {
+		return nil, false
+	}
+	buckets := make([][]trace.Source, max)
+	for g, src := range all {
+		buckets[g%max] = append(buckets[g%max], src)
+	}
+	out := make([]trace.Source, max)
+	for i, b := range buckets {
+		out[i] = newMerged(s.m.nodes, s.duration, b)
+	}
+	s.started = true
+	return out, true
+}

@@ -1164,32 +1164,92 @@ func (s *state) initCaches() error {
 		}
 	}
 	// Remaining copies: decreasing need, least-loaded servers without the
-	// item.
+	// item. The greedy is "lowest-index server among those with the most
+	// free slots, excluding holders"; scanning all servers per copy made
+	// this O(copies·N) — at million-node scale with want[i] ≈ N·ρ/items,
+	// effectively O(N²·ρ). The counting-sort traversal below picks the
+	// identical server sequence in O(items·N + copies): within one item,
+	// a placement only decrements the free count of a server that
+	// thereby becomes a holder (excluded from that item's later picks),
+	// so the remaining candidates' order is static for the whole item —
+	// walk the free-count buckets from fullest to 1, ascending index,
+	// skipping holders. Between items, demote each used server one
+	// bucket, preserving ascending index order by subsequence merge.
 	order := make([]int, s.items)
 	for i := range order {
 		order[i] = i
 	}
 	sort.SliceStable(order, func(a, b int) bool { return want[order[a]] > want[order[b]] })
+	buckets := make([][]int32, s.rho+1)
+	for n := 0; n < s.servers; n++ {
+		f := s.freeSlots(n)
+		buckets[f] = append(buckets[f], int32(n)) // ascending by construction
+	}
+	var taken []int // positions taken from the current bucket
 	for _, i := range order {
 		need := want[i] - s.counts[i]
-		for need > 0 {
-			best, bestFree := -1, -1
-			for n := 0; n < s.servers; n++ {
+		for f := s.rho; f >= 1 && need > 0; f-- {
+			b := buckets[f]
+			taken = taken[:0]
+			for pos := 0; pos < len(b) && need > 0; pos++ {
+				n := int(b[pos])
 				if s.Has(n, i) {
 					continue
 				}
-				if f := s.freeSlots(n); f > bestFree {
-					best, bestFree = n, f
+				if err := s.place(n, i, false); err != nil {
+					return err
+				}
+				need--
+				taken = append(taken, pos)
+			}
+			if len(taken) == 0 {
+				continue
+			}
+			// Demote the used servers to bucket f−1. Both the survivors
+			// and the taken values are ascending subsequences of b, so
+			// one sweep rebuilds the bucket and one merge re-sorts the
+			// destination.
+			moved := make([]int32, 0, len(taken))
+			kept := b[:0]
+			ti := 0
+			for pos, n := range b {
+				if ti < len(taken) && pos == taken[ti] {
+					moved = append(moved, n)
+					ti++
+				} else {
+					kept = append(kept, n)
 				}
 			}
-			if best < 0 || bestFree == 0 {
-				break // no room anywhere; drop the remainder of this item
-			}
-			if err := s.place(best, i, false); err != nil {
-				return err
-			}
-			need--
+			buckets[f] = kept
+			buckets[f-1] = mergeAscending(buckets[f-1], moved)
 		}
+		// need may still be positive: no server without the item has a
+		// free slot, so the remainder of this item is dropped — exactly
+		// the per-copy greedy's bail-out.
 	}
 	return nil
+}
+
+// mergeAscending merges two ascending int32 slices into a fresh
+// ascending slice (the initCaches bucket demotion).
+func mergeAscending(a, b []int32) []int32 {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return b
+	}
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
 }

@@ -1,0 +1,98 @@
+// Chi-square goodness-of-fit and homogeneity statistics, the workhorses
+// of the structured-rate equivalence suite (internal/rates): the
+// hierarchical two-level samplers must reproduce the pair-contact
+// marginals of the dense alias sampler, and a chi-square over the pair
+// bins is the standard gate for that claim.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// ChiSquareGOF returns the one-sample chi-square statistic
+// Σ (obs−exp)²/exp over bins with positive expectation, plus the degrees
+// of freedom (positive-expectation bins − 1, since the totals are tied).
+// Bins with zero expectation and zero observations are skipped; a bin
+// with zero expectation but positive observations is an immediate model
+// violation and returns an error — no finite statistic expresses it.
+func ChiSquareGOF(obs, exp []float64) (float64, int, error) {
+	if len(obs) != len(exp) {
+		return 0, 0, fmt.Errorf("stats: chi-square with %d observed vs %d expected bins", len(obs), len(exp))
+	}
+	var stat float64
+	bins := 0
+	for i := range obs {
+		switch {
+		case exp[i] > 0:
+			d := obs[i] - exp[i]
+			stat += d * d / exp[i]
+			bins++
+		case obs[i] != 0:
+			return 0, 0, fmt.Errorf("stats: bin %d observed %g with zero expectation", i, obs[i])
+		}
+	}
+	if bins < 2 {
+		return 0, 0, fmt.Errorf("stats: chi-square needs ≥ 2 populated bins, have %d", bins)
+	}
+	return stat, bins - 1, nil
+}
+
+// ChiSquareTwoSample returns the homogeneity chi-square for two count
+// vectors over the same bins: under the null that both samples draw from
+// one distribution, the statistic is approximately χ² with
+// (populated bins − 1) degrees of freedom. Bins empty in both samples
+// are skipped. This is the two-sample gate of the sampler-equivalence
+// suite — it needs no analytic reference distribution at all.
+func ChiSquareTwoSample(a, b []float64) (float64, int, error) {
+	if len(a) != len(b) {
+		return 0, 0, fmt.Errorf("stats: two-sample chi-square with %d vs %d bins", len(a), len(b))
+	}
+	var totA, totB float64
+	for i := range a {
+		if a[i] < 0 || b[i] < 0 {
+			return 0, 0, fmt.Errorf("stats: negative count in bin %d", i)
+		}
+		totA += a[i]
+		totB += b[i]
+	}
+	if totA <= 0 || totB <= 0 {
+		return 0, 0, fmt.Errorf("stats: empty sample (totals %g, %g)", totA, totB)
+	}
+	grand := totA + totB
+	var stat float64
+	bins := 0
+	for i := range a {
+		rowTot := a[i] + b[i]
+		if rowTot == 0 {
+			continue
+		}
+		bins++
+		expA := rowTot * totA / grand
+		expB := rowTot * totB / grand
+		dA := a[i] - expA
+		dB := b[i] - expB
+		stat += dA*dA/expA + dB*dB/expB
+	}
+	if bins < 2 {
+		return 0, 0, fmt.Errorf("stats: two-sample chi-square needs ≥ 2 populated bins, have %d", bins)
+	}
+	return stat, bins - 1, nil
+}
+
+// ChiSquareCritical returns the upper critical value of the χ²_df
+// distribution at significance alpha (P[X > crit] = alpha), via the
+// Wilson–Hilferty cube approximation: χ² ≈ df·(1 − 2/(9df) + z·√(2/(9df)))³
+// with z the standard normal quantile. Accurate to well under 1% for
+// df ≥ 5, which covers every gate in the equivalence suite (their bin
+// counts are in the hundreds); for smaller df it stays within a few
+// percent — adequate for test thresholds, not for p-values.
+func ChiSquareCritical(alpha float64, df int) float64 {
+	if df <= 0 || alpha <= 0 || alpha >= 1 {
+		return math.NaN()
+	}
+	z := NormalQuantile(1 - alpha)
+	d := float64(df)
+	t := 1 - 2/(9*d) + z*math.Sqrt(2/(9*d))
+	return d * t * t * t
+}

@@ -1,0 +1,169 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// TestChiSquareCritical pins the Wilson–Hilferty approximation against
+// tabulated χ² quantiles. The suite only ever uses df ≥ 5, where the
+// approximation is well under 1%; the df=1 row documents the looser
+// small-df behavior.
+func TestChiSquareCritical(t *testing.T) {
+	cases := []struct {
+		alpha float64
+		df    int
+		want  float64
+		tol   float64 // relative
+	}{
+		{0.05, 1, 3.841, 0.06},
+		{0.05, 5, 11.070, 0.01},
+		{0.05, 10, 18.307, 0.005},
+		{0.01, 10, 23.209, 0.005},
+		{0.05, 100, 124.342, 0.002},
+		{0.001, 200, 267.541, 0.005},
+	}
+	for _, c := range cases {
+		got := ChiSquareCritical(c.alpha, c.df)
+		if rel := math.Abs(got-c.want) / c.want; rel > c.tol {
+			t.Errorf("ChiSquareCritical(%g, %d) = %g, want %g (rel err %g > %g)",
+				c.alpha, c.df, got, c.want, rel, c.tol)
+		}
+	}
+	for _, bad := range []struct {
+		alpha float64
+		df    int
+	}{{0, 5}, {1, 5}, {-0.1, 5}, {0.05, 0}, {0.05, -3}} {
+		if got := ChiSquareCritical(bad.alpha, bad.df); !math.IsNaN(got) {
+			t.Errorf("ChiSquareCritical(%g, %d) = %g, want NaN", bad.alpha, bad.df, got)
+		}
+	}
+}
+
+// TestChiSquareGOFNull draws multinomial samples from a known
+// distribution and checks the GOF statistic stays under the 0.1%
+// critical value; a deliberately wrong expectation must blow past it.
+func TestChiSquareGOFNull(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 13))
+	const bins, draws = 40, 200000
+	probs := make([]float64, bins)
+	var tot float64
+	for i := range probs {
+		probs[i] = 0.2 + rng.Float64()
+		tot += probs[i]
+	}
+	obs := make([]float64, bins)
+	for d := 0; d < draws; d++ {
+		u := rng.Float64() * tot
+		for i := range probs {
+			u -= probs[i]
+			if u <= 0 {
+				obs[i]++
+				break
+			}
+		}
+	}
+	exp := make([]float64, bins)
+	for i := range exp {
+		exp[i] = probs[i] / tot * draws
+	}
+	stat, df, err := ChiSquareGOF(obs, exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if df != bins-1 {
+		t.Fatalf("df = %d, want %d", df, bins-1)
+	}
+	if crit := ChiSquareCritical(0.001, df); stat > crit {
+		t.Fatalf("null sample rejected: stat %g > crit %g", stat, crit)
+	}
+	// Shift a quarter of the mass: must reject decisively.
+	for i := 0; i < bins/2; i++ {
+		exp[i] *= 1.5
+		exp[i+bins/2] *= 0.5
+	}
+	stat, df, err = ChiSquareGOF(obs, exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crit := ChiSquareCritical(0.001, df); stat < 10*crit {
+		t.Fatalf("misfit not detected: stat %g vs crit %g", stat, crit)
+	}
+}
+
+// TestChiSquareGOFErrors covers the degenerate inputs.
+func TestChiSquareGOFErrors(t *testing.T) {
+	if _, _, err := ChiSquareGOF([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, _, err := ChiSquareGOF([]float64{1, 0}, []float64{0, 1}); err == nil {
+		t.Error("observation in zero-expectation bin accepted")
+	}
+	if _, _, err := ChiSquareGOF([]float64{5}, []float64{5}); err == nil {
+		t.Error("single bin accepted")
+	}
+	// Zero-zero bins are skipped, not fatal.
+	if _, df, err := ChiSquareGOF([]float64{3, 0, 4}, []float64{3, 0, 4}); err != nil || df != 1 {
+		t.Errorf("zero-zero bin: df=%d err=%v, want df=1 err=nil", df, err)
+	}
+}
+
+// TestChiSquareTwoSampleNull: two samples from one distribution pass,
+// samples from different distributions fail, degenerate inputs error.
+func TestChiSquareTwoSampleNull(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 21))
+	const bins = 30
+	draw := func(n int, probs []float64) []float64 {
+		var tot float64
+		for _, p := range probs {
+			tot += p
+		}
+		out := make([]float64, len(probs))
+		for d := 0; d < n; d++ {
+			u := rng.Float64() * tot
+			for i, p := range probs {
+				u -= p
+				if u <= 0 {
+					out[i]++
+					break
+				}
+			}
+		}
+		return out
+	}
+	probs := make([]float64, bins)
+	for i := range probs {
+		probs[i] = 0.3 + rng.Float64()
+	}
+	a, b := draw(100000, probs), draw(60000, probs)
+	stat, df, err := ChiSquareTwoSample(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crit := ChiSquareCritical(0.001, df); stat > crit {
+		t.Fatalf("homogeneous samples rejected: stat %g > crit %g", stat, crit)
+	}
+	skew := make([]float64, bins)
+	copy(skew, probs)
+	for i := 0; i < bins/2; i++ {
+		skew[i] *= 2
+	}
+	stat, df, err = ChiSquareTwoSample(a, draw(60000, skew))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crit := ChiSquareCritical(0.001, df); stat < 10*crit {
+		t.Fatalf("heterogeneous samples not detected: stat %g vs crit %g", stat, crit)
+	}
+
+	if _, _, err := ChiSquareTwoSample([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, _, err := ChiSquareTwoSample([]float64{-1, 2}, []float64{1, 2}); err == nil {
+		t.Error("negative count accepted")
+	}
+	if _, _, err := ChiSquareTwoSample([]float64{0, 0}, []float64{1, 2}); err == nil {
+		t.Error("empty sample accepted")
+	}
+}

@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPairFromIndexRowBoundaries is the exhaustive boundary regression
+// for the large-N inversion fix: at every row of the PairIndex layout,
+// the first index (pair (a, a+1)) and the last index (pair (a, n-1))
+// must invert exactly. These are the indices where the float estimate of
+// the row sits closest to a row boundary, so any precision loss in the
+// sqrt-based inverse shows up here first. Population sizes cover the
+// million-node regime of the scale ladder (10⁵, 10⁶) plus 2·10⁶ as
+// headroom.
+func TestPairFromIndexRowBoundaries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive row walk is a long-mode regression")
+	}
+	for _, n := range []int{1e5, 1e6, 2e6} {
+		for a := 0; a < n-1; a++ {
+			first := pairRowStart(n, a)
+			last := pairRowStart(n, a+1) - 1
+			if ga, gb := PairFromIndex(n, first); ga != a || gb != a+1 {
+				t.Fatalf("n=%d: PairFromIndex(%d) = (%d,%d), want row start (%d,%d)", n, first, ga, gb, a, a+1)
+			}
+			if ga, gb := PairFromIndex(n, last); ga != a || gb != n-1 {
+				t.Fatalf("n=%d: PairFromIndex(%d) = (%d,%d), want row end (%d,%d)", n, last, ga, gb, a, n-1)
+			}
+		}
+	}
+}
+
+// TestPairFromIndexSmallBoundaries is the short-mode slice of the same
+// regression: exhaustive inversion (every index, not just boundaries) at
+// sizes small enough to brute-force, plus the four corner indices at the
+// scale-ladder populations.
+func TestPairFromIndexSmallBoundaries(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 17, 100, 317} {
+		for idx := 0; idx < NumPairs(n); idx++ {
+			a, b := PairFromIndex(n, idx)
+			if a < 0 || b <= a || b >= n {
+				t.Fatalf("n=%d idx=%d: invalid pair (%d,%d)", n, idx, a, b)
+			}
+			if got := PairIndex(n, a, b); got != idx {
+				t.Fatalf("n=%d: PairIndex(PairFromIndex(%d)) = %d", n, idx, got)
+			}
+		}
+	}
+	for _, n := range []int{1e5, 1e6, 2e6} {
+		for _, idx := range []int{0, n - 2, NumPairs(n) - 1, pairRowStart(n, n/2), pairRowStart(n, n/2) - 1} {
+			a, b := PairFromIndex(n, idx)
+			if got := PairIndex(n, a, b); got != idx {
+				t.Fatalf("n=%d idx=%d: round trip gave (%d,%d) = index %d", n, idx, a, b, got)
+			}
+		}
+	}
+}
+
+// TestPairFromIndexDegradedRadicand pins the NaN guard: when the float
+// radicand collapses to a negative value (as the cancellation can
+// produce past N ≈ 5·10⁷), the clamped estimate plus the exact integer
+// correction must still recover the true row rather than propagating
+// int(NaN). We can't force the rounding directly, but we can verify the
+// inversion at a population large enough that m² exceeds float64's
+// exact-integer range (2⁵³).
+func TestPairFromIndexDegradedRadicand(t *testing.T) {
+	n := 70_000_000 // m² ≈ 1.96e16 > 2^53: radicand arithmetic is inexact
+	if float64(2*n-1)*float64(2*n-1) <= math.Pow(2, 53) {
+		t.Fatalf("test population too small to leave the exact-integer range")
+	}
+	for _, idx := range []int{0, 1, n - 2, NumPairs(n) - 1, NumPairs(n) - (n - 1), pairRowStart(n, n/3), pairRowStart(n, n/3) - 1} {
+		a, b := PairFromIndex(n, idx)
+		if a < 0 || b <= a || b >= n {
+			t.Fatalf("idx=%d: invalid pair (%d,%d)", idx, a, b)
+		}
+		if got := PairIndex(n, a, b); got != idx {
+			t.Fatalf("idx=%d: round trip gave (%d,%d) = index %d", idx, a, b, got)
+		}
+	}
+}

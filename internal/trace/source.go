@@ -45,6 +45,24 @@ type Reopenable interface {
 	Reopen() (Source, error)
 }
 
+// Partitionable is a Source whose contact process decomposes into
+// independent, individually ordered sub-processes: Partition(max)
+// returns up to max sources whose time-ordered merge (ties broken
+// lexicographically by (T, A, B), under which equal contacts are
+// interchangeable) reproduces the receiver's contact sequence exactly.
+// The sharded batch executor (sim.RunBatchSharded) uses it to generate
+// the shared contact stream on several cores at once; the structured
+// rate models (internal/rates) implement it by splitting their
+// community-pair blocks into fixed per-block RNG sub-streams, so the
+// merged sequence is the same for every partition width — including 1.
+// Partition reports false when the source cannot split (for example
+// because it has already been partially drained); callers must then fall
+// back to draining the receiver serially.
+type Partitionable interface {
+	Source
+	Partition(max int) ([]Source, bool)
+}
+
 // SliceSource adapts a materialized Trace to the Source interface. It
 // yields the contact slice in order, so a simulation driven through the
 // adapter is bit-identical to one iterating the slice directly.
@@ -141,22 +159,43 @@ func pairRowStart(nodes, a int) int { return a * (2*nodes - a - 1) / 2 }
 // PairFromIndex inverts PairIndex in O(1): it recovers the unordered pair
 // (a, b), a < b, from its dense index. The streaming generators use it to
 // avoid materializing the idx → (a, b) lookup tables, which at production
-// scale cost O(N²) memory on their own (200 MB at N = 5000). The float
-// estimate of the row is corrected by at most one step, so the result is
-// exact for every index the rate matrices can hold.
+// scale cost O(N²) memory on their own (200 MB at N = 5000).
+//
+// The float estimate of the row comes from the stable (subtraction-free
+// under the radical) branch of the quadratic formula, but at million-node
+// scale the radicand m²−8·idx is a difference of ~4N² magnitudes: past
+// N ≈ 5·10⁷ the operands leave float64's exact-integer range, the
+// cancellation can wander by whole rows — or go negative, turning the
+// estimate into int(NaN), which Go clamps to the most negative int. The
+// estimate is therefore clamped into the valid row range and corrected
+// with exact integer comparisons that walk any remaining error off, so
+// the result is exact for every index an int-indexed rate matrix can
+// hold (boundary-regressed at N ∈ {10⁵, 10⁶, 2·10⁶} for the first and
+// last index of every row).
 func PairFromIndex(nodes, idx int) (int, int) {
-	// Row a is the largest a with rowStart(a) ≤ idx; rowStart is the
-	// quadratic a(2n-a-1)/2, inverted with the stable (subtraction-free
-	// under the radical) branch of the quadratic formula.
+	// Row a is the largest a with rowStart(a) ≤ idx.
 	m := float64(2*nodes - 1)
-	a := int((m - math.Sqrt(m*m-8*float64(idx))) / 2)
+	rad := m*m - 8*float64(idx)
+	if rad < 0 {
+		rad = 0 // float cancellation only; the exact radicand is ≥ 9
+	}
+	a := int((m - math.Sqrt(rad)) / 2)
+	// Clamp the estimate into the valid row range before the exact
+	// correction: int(NaN) and large-N rounding can land arbitrarily far
+	// outside [0, nodes-2].
 	if a < 0 {
 		a = 0
 	}
+	if a > nodes-2 {
+		a = nodes - 2
+	}
+	// Exact integer correction (pure int arithmetic, loops as many steps
+	// as the float error requires — at most one for exactly representable
+	// radicands).
 	for a > 0 && pairRowStart(nodes, a) > idx {
 		a--
 	}
-	for a+1 < nodes-1 && pairRowStart(nodes, a+1) <= idx {
+	for a < nodes-2 && pairRowStart(nodes, a+1) <= idx {
 		a++
 	}
 	b := idx - pairRowStart(nodes, a) + a + 1
