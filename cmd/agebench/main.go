@@ -184,14 +184,16 @@ func main() {
 	batchOut := flag.String("batch-out", "BENCH_batch.json", "output path for the batch-vs-sequential JSON report (empty = skip)")
 	adversaryOut := flag.String("adversary-out", "BENCH_adversary.json", "output path for the hardened-vs-vanilla QCR JSON report (empty = skip)")
 	scaleOut := flag.String("scale-out", "BENCH_scale.json", "output path for the million-node scale-ladder JSON report (empty = skip)")
+	hybridOut := flag.String("hybrid-out", "BENCH_hybrid.json", "output path for the hybrid-vs-event-sim JSON report (empty = skip)")
 	trialsOnly := flag.Bool("trials-only", false, "run only the trial-engine benchmark")
 	contactsOnly := flag.Bool("contacts-only", false, "run only the contact-pipeline benchmark")
 	batchOnly := flag.Bool("batch-only", false, "run only the batch-vs-sequential benchmark")
 	adversaryOnly := flag.Bool("adversary-only", false, "run only the adversary-overhead benchmark")
 	scaleOnly := flag.Bool("scale-only", false, "run only the structured-rates scale ladder")
+	hybridOnly := flag.Bool("hybrid-only", false, "run only the hybrid-vs-event-sim benchmark")
 	flag.Parse()
 
-	only := *trialsOnly || *contactsOnly || *batchOnly || *adversaryOnly || *scaleOnly
+	only := *trialsOnly || *contactsOnly || *batchOnly || *adversaryOnly || *scaleOnly || *hybridOnly
 	if !only || *trialsOnly {
 		if err := run(*short, *workers, *out); err != nil {
 			fmt.Fprintln(os.Stderr, "agebench:", err)
@@ -218,6 +220,12 @@ func main() {
 	}
 	if (!only || *scaleOnly) && *scaleOut != "" {
 		if err := runScale(*short, *scaleOut); err != nil {
+			fmt.Fprintln(os.Stderr, "agebench:", err)
+			os.Exit(1)
+		}
+	}
+	if (!only || *hybridOnly) && *hybridOut != "" {
+		if err := runHybrid(*short, *hybridOut); err != nil {
 			fmt.Fprintln(os.Stderr, "agebench:", err)
 			os.Exit(1)
 		}

@@ -62,6 +62,7 @@ var figureIndex = []struct {
 	{"xa", "Robustness: adversarial workloads — dishonest fraction, counter multiplier, free-riders (hardened vs vanilla QCR)"},
 	{"xf", "Robustness: flash-crowd popularity churn vs rotation period"},
 	{"xn", "Robustness: day/night contact nonstationarity vs night activity factor"},
+	{"xh", "Figure 3 at scale: QCR convergence on the hybrid mean-field engine"},
 }
 
 func main() {
@@ -73,6 +74,7 @@ func main() {
 	ascii := flag.Bool("ascii", true, "print ASCII charts")
 	workers := flag.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS); results are identical for any value")
 	shards := flag.Int("shards", 0, "partition each trial's lockstep batch across this many workers; results are identical for any value")
+	hybrid := flag.Bool("hybrid", false, "regenerate only the hybrid mean-field family (equivalent to -fig xh)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof agefigures <file>)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -81,6 +83,9 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "agefigures:", err)
 		os.Exit(1)
+	}
+	if *hybrid && len(figs) == 0 {
+		figs = figureFlag{"xh"}
 	}
 	if err := run(figs, *outDir, *quick, *list, *ascii, *workers, *shards); err != nil {
 		stop()
@@ -117,7 +122,7 @@ func run(figs []string, outDir string, quick, list, ascii bool, workers, shards 
 	}
 	for _, id := range figs {
 		start := time.Now()
-		tables, err := runFigure(id, sc, conf, veh)
+		tables, err := runFigure(id, sc, conf, veh, quick)
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
@@ -140,7 +145,7 @@ func run(figs []string, outDir string, quick, list, ascii bool, workers, shards 
 	return nil
 }
 
-func runFigure(id string, sc experiment.Scenario, conf synth.ConferenceConfig, veh synth.VehicularConfig) ([]*plot.Table, error) {
+func runFigure(id string, sc experiment.Scenario, conf synth.ConferenceConfig, veh synth.VehicularConfig, quick bool) ([]*plot.Table, error) {
 	one := func(t *plot.Table, err error) ([]*plot.Table, error) {
 		if err != nil {
 			return nil, err
@@ -157,6 +162,8 @@ func runFigure(id string, sc experiment.Scenario, conf synth.ConferenceConfig, v
 		return one(experiment.Figure2(sc))
 	case "3":
 		return experiment.Figure3(sc)
+	case "xh":
+		return hybridFigure(sc, quick)
 	case "4a":
 		return one(experiment.Figure4Power(sc, nil))
 	case "4b":

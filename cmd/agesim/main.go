@@ -55,6 +55,7 @@ type options struct {
 	stream      bool
 	ratesSpec   string
 	shards      int
+	hybrid      bool
 	cpuProfile  string
 	memProfile  string
 
@@ -103,6 +104,7 @@ func main() {
 	flag.BoolVar(&o.stream, "stream", false, "fuse contact generation with the simulation (homogeneous QCR only): contacts are drawn lazily, never materialized")
 	flag.StringVar(&o.ratesSpec, "rates", "", "structured rate model spec (community:n=...,c=...,in=...,out=... | hubspoke:... | distance:...); overrides -trace and -nodes, O(N + C²) state")
 	flag.IntVar(&o.shards, "shards", 0, "partition the lockstep batch across this many workers (with -rates); results are bit-identical for any value")
+	flag.BoolVar(&o.hybrid, "hybrid", false, "run the mean-field hybrid engine (with -rates): fluid communities plus an event-simulated probe boundary, demoting to full simulation when the error controller trips")
 	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this file (go tool pprof agesim <file>)")
 	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file on exit")
 	flag.Float64Var(&o.churn, "churn", 0, "node crash rate (crashes per node-minute; 0 = off)")
@@ -272,6 +274,9 @@ func run(o options) error {
 	if o.ratesSpec != "" {
 		return runStructured(o, u, sc)
 	}
+	if o.hybrid {
+		return fmt.Errorf("-hybrid requires -rates (the fluid limit needs a structured rate model)")
+	}
 	if o.stream {
 		return runStream(o, u, sc)
 	}
@@ -405,6 +410,7 @@ func runStructured(o options, u utility.Function, sc experiment.Scenario) error 
 	}
 	sc.Nodes = m.Nodes()
 	sc.Shards = o.shards
+	sc.Hybrid.Enabled = o.hybrid
 
 	if o.trials > 1 {
 		cmp, err := sc.RunStructuredComparison(u, m, []string{scheme})
@@ -412,7 +418,11 @@ func runStructured(o options, u utility.Function, sc experiment.Scenario) error 
 			return err
 		}
 		sum := cmp.Utility[scheme]
-		fmt.Printf("scheme          %s (structured rates, %d shards)\n", scheme, o.shards)
+		engine := fmt.Sprintf("structured rates, %d shards", o.shards)
+		if o.hybrid {
+			engine = "structured rates, hybrid mean-field engine"
+		}
+		fmt.Printf("scheme          %s (%s)\n", scheme, engine)
 		fmt.Printf("utility         %s\n", u.Name())
 		fmt.Printf("rate model      %s: %d nodes, %d communities, mean pair rate %.3g/min\n",
 			o.ratesSpec, m.Nodes(), m.Communities(), m.MeanPairRate())
@@ -425,7 +435,11 @@ func runStructured(o options, u utility.Function, sc experiment.Scenario) error 
 	if err != nil {
 		return err
 	}
-	fmt.Printf("scheme          %s (structured rates, sharded lockstep)\n", scheme)
+	engine := "structured rates, sharded lockstep"
+	if rep.Hybrid {
+		engine = "structured rates, hybrid mean-field engine"
+	}
+	fmt.Printf("scheme          %s (%s)\n", scheme, engine)
 	fmt.Printf("utility         %s\n", u.Name())
 	fmt.Printf("rate model      %s: %d nodes, %d communities, mean pair rate %.3g/min\n",
 		o.ratesSpec, rep.Nodes, rep.Communities, rep.MeanPairRate)
@@ -435,6 +449,10 @@ func runStructured(o options, u utility.Function, sc experiment.Scenario) error 
 	fmt.Printf("fulfillments    %d\n", rep.Fulfillments)
 	fmt.Printf("peak heap       %.1f MB (O(N + C²) state; a dense rate matrix alone would be %.1f MB)\n",
 		float64(rep.PeakHeapBytes)/1e6, 8*float64(rep.Nodes)*float64(rep.Nodes)/1e6)
+	if rep.Hybrid {
+		fmt.Printf("hybrid          %.1f%% of the population on the fluid, %d demotions to full simulation\n",
+			100*rep.FluidFraction, rep.Demotions)
+	}
 	fmt.Printf("digest family   %#016x (bit-identical at every -shards value)\n", rep.DigestFamily)
 	return nil
 }

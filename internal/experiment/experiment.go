@@ -56,6 +56,15 @@ type Scenario struct {
 	// this only controls the convergence-speed/variance trade-off.
 	QCRBurst   float64
 	WarmupFrac float64
+	// Hybrid selects the mean-field fast path for the structured-rates
+	// runners (RunStructuredComparison, StructuredScale) when
+	// Hybrid.Enabled is set: large communities evolve by the fluid limit,
+	// only a probe boundary is event-simulated, and the error controller
+	// demotes the run to full fidelity when the probes disagree with the
+	// fluid prediction (see sim.RunHybrid). ContactSeed and ReactionScale
+	// are overwritten per trial by the wiring; the remaining knobs pass
+	// through.
+	Hybrid sim.HybridOptions
 }
 
 // Default returns the paper's evaluation scenario.
@@ -187,11 +196,11 @@ func buildStatic(sc Scenario, scheme string, u utility.Function, pop demand.Popu
 	}
 }
 
-// qcrPolicy builds the tuned QCR policy for a trial: the Property-2
-// reaction with its scale normalized so the mean burst at the optimum is
-// sc.QCRBurst replicas per fulfillment, and a per-fulfillment mandate cap
-// of |S|/5 against heavy-tailed counter bursts.
-func (sc Scenario) qcrPolicy(u utility.Function, mu float64, routing bool, seed uint64) *core.QCR {
+// reactionScale resolves the burst-normalized reaction proportionality
+// constant (falling back to the raw QCRScale knob when normalization is
+// unavailable). The QCR policy and the hybrid engine's fluid PsiScale
+// both consume it, so fluid and event transients share a clock.
+func (sc Scenario) reactionScale(u utility.Function, mu float64) float64 {
 	scale := sc.QCRScale
 	if sc.QCRBurst > 0 {
 		h := welfare.Homogeneous{
@@ -202,6 +211,15 @@ func (sc Scenario) qcrPolicy(u utility.Function, mu float64, routing bool, seed 
 			scale = s
 		}
 	}
+	return scale
+}
+
+// qcrPolicy builds the tuned QCR policy for a trial: the Property-2
+// reaction with its scale normalized so the mean burst at the optimum is
+// sc.QCRBurst replicas per fulfillment, and a per-fulfillment mandate cap
+// of |S|/5 against heavy-tailed counter bursts.
+func (sc Scenario) qcrPolicy(u utility.Function, mu float64, routing bool, seed uint64) *core.QCR {
+	scale := sc.reactionScale(u, mu)
 	cap := sc.Nodes / 10
 	if cap < 3 {
 		cap = 3

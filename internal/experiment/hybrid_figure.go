@@ -1,0 +1,149 @@
+package experiment
+
+import (
+	"fmt"
+
+	"impatience/internal/alloc"
+	"impatience/internal/parallel"
+	"impatience/internal/plot"
+	"impatience/internal/rates"
+	"impatience/internal/stats"
+	"impatience/internal/utility"
+	"impatience/internal/welfare"
+)
+
+// HybridFigure3 regenerates the Figure-3 time series at structured-model
+// scale on the hybrid engine: QCR's expected utility U(x(t)) converging
+// to the homogeneous optimum, the observed per-bin utility, and the
+// replica trajectories of the five most requested items — population
+// sizes the full event path cannot reach interactively. The replica
+// snapshots come from rounding the fluid state, so the trajectories are
+// the mean-field x(t) itself rather than one sample path of it.
+//
+// Returned tables: expected utility; observed utility per bin; top-5
+// replica counts; hybrid provenance (fluid fraction and demotions per
+// trial, so a fallback can never hide inside a smooth-looking curve).
+func HybridFigure3(sc Scenario, m *rates.Model) ([]*plot.Table, error) {
+	if m.Nodes() != sc.Nodes {
+		return nil, fmt.Errorf("experiment: model has %d nodes, scenario %d", m.Nodes(), sc.Nodes)
+	}
+	sc.Hybrid.Enabled = true
+	f := utility.Power{Alpha: 0}
+	pop := sc.Pop()
+	mu := m.MeanPairRate()
+	h := welfare.Homogeneous{
+		Utility: f, Pop: pop, Mu: mu,
+		Servers: sc.Nodes, Clients: sc.Nodes, PureP2P: true,
+	}
+	opt, err := h.GreedyOptimal(sc.Rho)
+	if err != nil {
+		return nil, err
+	}
+	uOpt := h.WelfareCounts(opt)
+	schemes := []string{SchemeQCR, SchemeUNI}
+
+	type trialSeries struct {
+		times, exp, obs []float64
+		tops            [5][]float64
+		fluid           float64
+		demotions       int
+	}
+	outs, err := parallel.RunTrials(sc.Trials, sc.Workers, sc.Seed, func(trial int, seed uint64) ([]*trialSeries, error) {
+		results, err := sc.runHybridTrial(schemes, f, m, mu, uint64(trial), seed, true)
+		if err != nil {
+			return nil, err
+		}
+		series := make([]*trialSeries, len(results))
+		for k, res := range results {
+			ts := &trialSeries{
+				times: make([]float64, len(res.Bins)),
+				exp:   make([]float64, len(res.Bins)),
+				obs:   make([]float64, len(res.Bins)),
+			}
+			for r := range ts.tops {
+				ts.tops[r] = make([]float64, len(res.Bins))
+			}
+			for i, b := range res.Bins {
+				ts.times[i] = b.T0
+				if b.Counts != nil {
+					ts.exp[i] = h.WelfareCounts(b.Counts)
+					for r := 0; r < 5 && r < len(b.Counts); r++ {
+						ts.tops[r][i] = float64(b.Counts[r])
+					}
+				}
+				ts.obs[i] = b.Gain / (b.T1 - b.T0)
+			}
+			if t := res.Hybrid; t != nil {
+				ts.fluid = t.FluidFraction
+				ts.demotions = t.Demotions
+			}
+			series[k] = ts
+		}
+		return series, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var times []float64
+	collect := func(k int, pick func(*trialSeries) []float64) [][]float64 {
+		var out [][]float64
+		for _, trial := range outs {
+			if times == nil {
+				times = trial[k].times
+			}
+			out = append(out, pick(trial[k]))
+		}
+		return out
+	}
+	mean := func(trials [][]float64) []float64 {
+		s, err := stats.MergeTrials(times, trials)
+		if err != nil {
+			return nil
+		}
+		return s.Mean
+	}
+
+	qcrExp := collect(0, func(ts *trialSeries) []float64 { return ts.exp })
+	expT := &plot.Table{
+		Title:  fmt.Sprintf("Figure 3 at scale (N=%d, hybrid): expected utility U(x(t))", sc.Nodes),
+		XLabel: "time (min)",
+	}
+	expT.X = times
+	expT.AddColumn("QCR", mean(qcrExp))
+	expT.AddColumn("OPT", constant(len(times), uOpt))
+	expT.AddColumn("UNI", constant(len(times), h.WelfareCounts(alloc.Uniform(sc.Items, sc.Nodes, sc.Rho))))
+
+	obsT := &plot.Table{
+		Title:  fmt.Sprintf("Figure 3 at scale (N=%d, hybrid): observed utility", sc.Nodes),
+		XLabel: "time (min)",
+	}
+	obsT.X = times
+	obsT.AddColumn("QCR", mean(collect(0, func(ts *trialSeries) []float64 { return ts.obs })))
+	obsT.AddColumn("UNI", mean(collect(1, func(ts *trialSeries) []float64 { return ts.obs })))
+
+	repT := &plot.Table{
+		Title:  fmt.Sprintf("Figure 3 at scale (N=%d, hybrid): replicas of top-5 items", sc.Nodes),
+		XLabel: "time (min)",
+	}
+	repT.X = times
+	for r := 0; r < 5; r++ {
+		repT.AddColumn(fmt.Sprintf("msg %d (target %d)", r+1, opt[r]),
+			mean(collect(0, func(ts *trialSeries) []float64 { return ts.tops[r][:] })))
+	}
+
+	provT := &plot.Table{Title: "Hybrid provenance per trial", XLabel: "trial"}
+	provT.X = make([]float64, len(outs))
+	fluid := make([]float64, len(outs))
+	demo := make([]float64, len(outs))
+	for i, trial := range outs {
+		provT.X[i] = float64(i)
+		// The QCR run is the demanding one; UNI shares its fluid split.
+		fluid[i] = trial[0].fluid
+		demo[i] = float64(trial[0].demotions + trial[1].demotions)
+	}
+	provT.AddColumn("fluid_fraction", fluid)
+	provT.AddColumn("demotions", demo)
+
+	return []*plot.Table{expT, obsT, repT, provT}, nil
+}

@@ -12,6 +12,7 @@ import (
 	"impatience/internal/alloc"
 	"impatience/internal/contact"
 	"impatience/internal/core"
+	"impatience/internal/rates"
 	"impatience/internal/sim"
 	"impatience/internal/utility"
 	"impatience/internal/welfare"
@@ -42,6 +43,27 @@ func (sc Scenario) RunStaticStream(u utility.Function, initial alloc.Counts, tri
 		RecordDelays: recordDelays,
 	}
 	return sim.Run(cfg)
+}
+
+// RunStaticHybrid is RunStaticStream's mean-field twin: the same static
+// allocation, popularity, warmup and simulator seed discipline, but the
+// population evolves on the hybrid engine over a single-community rate
+// model matching the homogeneous µ. The oracle's hybrid ladder compares
+// its welfare against the full-sim trial CI of RunStaticStream.
+func (sc Scenario) RunStaticHybrid(u utility.Function, initial alloc.Counts, m *rates.Model, trial int, seed uint64) (*sim.Result, error) {
+	cfg := sim.Config{
+		Rho:        sc.Rho,
+		Utility:    u,
+		Pop:        sc.Pop(),
+		Policy:     core.Static{Label: "oracle"},
+		Initial:    initial,
+		NoSticky:   true,
+		Seed:       sc.Seed*1_000_003 + uint64(trial)*101,
+		WarmupFrac: sc.WarmupFrac,
+	}
+	hy := sc.Hybrid
+	hy.ContactSeed = seed
+	return sim.RunHybrid(cfg, m, sc.Duration, hy)
 }
 
 // Homogeneous returns the scenario's closed-form welfare system (pure

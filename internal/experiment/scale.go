@@ -85,6 +85,15 @@ func (m *meteredSource) sample() {
 	}
 }
 
+// sampleHeap reads the current live heap once — the footprint stamp for
+// runs with no contact stream to hang per-contact samples on (the hybrid
+// scale path).
+func sampleHeap() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
 // Nodes implements trace.Source.
 func (m *meteredSource) Nodes() int { return m.src.Nodes() }
 

@@ -1,0 +1,305 @@
+// The block (per-community) fluid limit: Eq. 7 lifted to the structured
+// contact models of internal/rates. State is one replica count per
+// (community, item); a requester in community k encounters holders of
+// item i at rate λ_ki = Σ_l β_kl·x_il, and the Property-2 reaction is
+// applied through the homogeneous-equivalent replica count x̂ = λ/µ_eff
+// with µ_eff,k = M_k/N (M_k = total meeting rate of a k-node, N = total
+// population): both the expected query counter N/x̂ and the fulfillment
+// rate µ_eff·x̂ = λ then match the homogeneous model the reaction was
+// tuned for. Replicas minted for a k-request land on the nodes k meets
+// — community l in proportion β_kl·N_l/M_k — and random-replacement
+// deletion keeps each community's cache budget ρN_l exactly conserved.
+//
+// With one community the dynamics reduce to System (Eq. 7) up to the
+// (N−1)/N self-meeting correction.
+
+package meanfield
+
+import (
+	"fmt"
+	"math"
+
+	"impatience/internal/numeric"
+	"impatience/internal/utility"
+)
+
+// BlockSystem is the per-community fluid dynamics over a block contact
+// model.
+type BlockSystem struct {
+	Utility utility.Function
+	Sizes   []int       // community sizes N_k
+	Block   [][]float64 // β_kl: pairwise contact rate between a k-node and an l-node
+	Demand  [][]float64 // [community][item] aggregate request rate
+	Rho     int         // cache slots per node
+	// PsiScale multiplies the reaction, exactly as in System; it should
+	// carry the simulator's tuned reaction scale so fluid and event
+	// transients run on the same clock. 1 by default.
+	PsiScale float64
+}
+
+// Communities returns the number of communities.
+func (b BlockSystem) Communities() int { return len(b.Sizes) }
+
+// Items returns the catalog size.
+func (b BlockSystem) Items() int {
+	if len(b.Demand) == 0 {
+		return 0
+	}
+	return len(b.Demand[0])
+}
+
+// Nodes returns the total population.
+func (b BlockSystem) Nodes() int {
+	n := 0
+	for _, s := range b.Sizes {
+		n += s
+	}
+	return n
+}
+
+// Validate reports structural errors, rejecting non-finite or negative
+// rates and demand in the style of rates.ErrModel.
+func (b BlockSystem) Validate() error {
+	c := len(b.Sizes)
+	switch {
+	case b.Utility == nil:
+		return fmt.Errorf("%w: nil utility", ErrSystem)
+	case c == 0:
+		return fmt.Errorf("%w: no communities", ErrSystem)
+	case b.Rho <= 0:
+		return fmt.Errorf("%w: rho=%d", ErrSystem, b.Rho)
+	case b.Items() == 0:
+		return fmt.Errorf("%w: empty catalog", ErrSystem)
+	case math.IsNaN(b.PsiScale) || math.IsInf(b.PsiScale, 0) || b.PsiScale < 0:
+		return fmt.Errorf("%w: psi scale %g", ErrSystem, b.PsiScale)
+	}
+	for k, n := range b.Sizes {
+		if n <= 0 {
+			return fmt.Errorf("%w: community %d has %d nodes", ErrSystem, k, n)
+		}
+	}
+	if len(b.Block) != c {
+		return fmt.Errorf("%w: block matrix has %d rows, %d communities", ErrSystem, len(b.Block), c)
+	}
+	for k, row := range b.Block {
+		if len(row) != c {
+			return fmt.Errorf("%w: block row %d has %d entries, want %d", ErrSystem, k, len(row), c)
+		}
+		for l, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return fmt.Errorf("%w: block rate β[%d][%d]=%g", ErrSystem, k, l, v)
+			}
+		}
+	}
+	if len(b.Demand) != c {
+		return fmt.Errorf("%w: demand has %d rows, %d communities", ErrSystem, len(b.Demand), c)
+	}
+	items := b.Items()
+	for k, row := range b.Demand {
+		if len(row) != items {
+			return fmt.Errorf("%w: demand row %d has %d items, want %d", ErrSystem, k, len(row), items)
+		}
+		for i, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return fmt.Errorf("%w: demand d[%d][%d]=%g", ErrSystem, k, i, v)
+			}
+		}
+	}
+	return nil
+}
+
+func (b BlockSystem) psiScale() float64 {
+	if b.PsiScale > 0 {
+		return b.PsiScale
+	}
+	return 1
+}
+
+// meetRate returns M_k, the total meeting rate of one community-k node.
+func (b BlockSystem) meetRate(k int) float64 {
+	var m float64
+	for l, n := range b.Sizes {
+		peers := float64(n)
+		if l == k {
+			peers--
+		}
+		m += b.Block[k][l] * peers
+	}
+	return m
+}
+
+// At indexes the flat state vector: replica count of item i in
+// community k.
+func (b BlockSystem) At(x []float64, k, i int) float64 { return x[k*b.Items()+i] }
+
+// HoldRate returns λ_ki: the rate at which one community-k node meets
+// holders of item i under state x.
+func (b BlockSystem) HoldRate(x []float64, k, i int) float64 {
+	var lam float64
+	items := b.Items()
+	for l := range b.Sizes {
+		lam += b.Block[k][l] * math.Max(x[l*items+i], minReplicas)
+	}
+	return lam
+}
+
+// Derivs evaluates the block dynamics; the state layout is
+// x[k*Items()+i].
+func (b BlockSystem) Derivs(t float64, x, dst []float64) {
+	b.derivsInto(t, x, dst, make([]float64, len(dst)), make([]float64, len(dst)))
+}
+
+// derivs returns a Derivs closure with reusable flux and holder
+// buffers, so the solver's six evaluations per step do not allocate.
+func (b BlockSystem) derivs() numeric.Derivs {
+	var buf, holders []float64
+	return func(t float64, x, dst []float64) {
+		if len(buf) != len(dst) {
+			buf = make([]float64, len(dst))
+			holders = make([]float64, len(dst))
+		} else {
+			for i := range buf {
+				buf[i] = 0
+			}
+		}
+		b.derivsInto(t, x, dst, buf, holders)
+	}
+}
+
+// derivsInto evaluates the drift. holders is scratch of len(x); it is
+// filled with the item-major transpose of max(x, minReplicas) so the
+// O(C) hold-rate sum in the hot (k, i) loop reads one contiguous run
+// instead of striding by Items() and re-clamping per term. The sum
+// order over l is unchanged, so the result is bit-identical to going
+// through HoldRate.
+func (b BlockSystem) derivsInto(_ float64, x, dst, writesInto, holders []float64) {
+	c := len(b.Sizes)
+	items := b.Items()
+	nTot := float64(b.Nodes())
+	scale := b.psiScale()
+	for l := 0; l < c; l++ {
+		for i := 0; i < items; i++ {
+			holders[i*c+l] = math.Max(x[l*items+i], minReplicas)
+		}
+	}
+	// writesInto[l*items+i]: replica-creation flux landing in community l.
+	for k := 0; k < c; k++ {
+		mk := b.meetRate(k)
+		if mk <= 0 {
+			continue
+		}
+		muEff := mk / nTot
+		row := b.Block[k]
+		for i := 0; i < items; i++ {
+			d := b.Demand[k][i]
+			if d == 0 {
+				continue
+			}
+			var lam float64
+			for l, h := range holders[i*c : i*c+c] {
+				lam += row[l] * h
+			}
+			xhat := lam / muEff
+			burst := d * scale * utility.Psi(b.Utility, muEff, nTot, nTot/math.Max(xhat, minReplicas))
+			if burst <= 0 {
+				continue
+			}
+			// Replicas land where k's meetings land.
+			for l := 0; l < c; l++ {
+				peers := float64(b.Sizes[l])
+				if l == k {
+					peers--
+				}
+				w := b.Block[k][l] * peers / mk
+				if w > 0 {
+					writesInto[l*items+i] += burst * w
+				}
+			}
+		}
+	}
+	for l := 0; l < c; l++ {
+		capL := float64(b.Rho * b.Sizes[l])
+		var total float64
+		for i := 0; i < items; i++ {
+			total += writesInto[l*items+i]
+		}
+		for i := 0; i < items; i++ {
+			xi := math.Max(x[l*items+i], minReplicas)
+			dst[l*items+i] = writesInto[l*items+i] - xi/capL*total
+		}
+	}
+}
+
+// WelfareOf evaluates community k's welfare rate under state x: the
+// pure-P2P closed form with the block-model hold rate,
+// Σ_i d_ki·[x_ki/N_k·h(0⁺) + (1−x_ki/N_k)·E h(Exp(λ_ki))].
+func (b BlockSystem) WelfareOf(x []float64, k int) float64 {
+	items := b.Items()
+	nk := float64(b.Sizes[k])
+	var u float64
+	for i := 0; i < items; i++ {
+		d := b.Demand[k][i]
+		if d == 0 {
+			continue
+		}
+		frac := math.Min(math.Max(x[k*items+i], 0)/nk, 1)
+		g := b.Utility.ExpectedGain(b.HoldRate(x, k, i))
+		u += d * (frac*b.Utility.H0() + (1-frac)*g)
+	}
+	return u
+}
+
+// Welfare evaluates the aggregate welfare rate Σ_k U_k(x).
+func (b BlockSystem) Welfare(x []float64) float64 {
+	var u float64
+	for k := range b.Sizes {
+		u += b.WelfareOf(x, k)
+	}
+	return u
+}
+
+// UniformStart splits each community's cache budget evenly across the
+// catalog.
+func (b BlockSystem) UniformStart() []float64 {
+	items := b.Items()
+	x := make([]float64, len(b.Sizes)*items)
+	for k, n := range b.Sizes {
+		per := float64(b.Rho*n) / float64(items)
+		for i := 0; i < items; i++ {
+			x[k*items+i] = per
+		}
+	}
+	return x
+}
+
+// Run integrates the block dynamics adaptively from x0 for horizon time
+// units; step seeds the controller (0 picks automatically).
+func (b BlockSystem) Run(x0 []float64, horizon, step float64) ([]float64, error) {
+	stepper, err := b.Stepper(x0, 0, step)
+	if err != nil {
+		return nil, err
+	}
+	if err := stepper.AdvanceTo(horizon); err != nil {
+		return nil, err
+	}
+	return append([]float64(nil), stepper.State()...), nil
+}
+
+// Stepper validates the system and returns a persistent adaptive
+// integrator positioned at (t0, x0), for callers that interleave
+// integration with discrete events (the hybrid engine).
+func (b BlockSystem) Stepper(x0 []float64, t0, step float64) (*numeric.Stepper, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	if len(x0) != len(b.Sizes)*b.Items() {
+		return nil, fmt.Errorf("%w: state has %d entries, want %d communities × %d items",
+			ErrSystem, len(x0), len(b.Sizes), b.Items())
+	}
+	for i, v := range x0 {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return nil, fmt.Errorf("%w: x0[%d]=%g", ErrSystem, i, v)
+		}
+	}
+	return numeric.NewStepper(b.derivs(), x0, t0, solverOpts(step, true)), nil
+}

@@ -1,6 +1,7 @@
 package meanfield
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -135,5 +136,71 @@ func TestRunRejectsBadState(t *testing.T) {
 	s := sys(utility.Step{Tau: 1})
 	if _, err := s.Run([]float64{1, 2}, 10, 0.5); err == nil {
 		t.Error("mismatched state length accepted")
+	}
+}
+
+// TestValidateRejectsNonFinite is the construction-time input table:
+// every non-finite or negative rate/demand configuration must be
+// rejected with ErrSystem before the solver sees it, matching the
+// validation style of internal/rates and internal/adversary.
+func TestValidateRejectsNonFinite(t *testing.T) {
+	base := func() System { return sys(utility.Step{Tau: 10}) }
+	cases := []struct {
+		name string
+		mut  func(*System)
+	}{
+		{"nan-mu", func(s *System) { s.Mu = math.NaN() }},
+		{"inf-mu", func(s *System) { s.Mu = math.Inf(1) }},
+		{"negative-mu", func(s *System) { s.Mu = -0.05 }},
+		{"nan-psi-scale", func(s *System) { s.PsiScale = math.NaN() }},
+		{"inf-psi-scale", func(s *System) { s.PsiScale = math.Inf(1) }},
+		{"negative-psi-scale", func(s *System) { s.PsiScale = -1 }},
+		{"nan-demand", func(s *System) { s.Pop.Rates[3] = math.NaN() }},
+		{"inf-demand", func(s *System) { s.Pop.Rates[3] = math.Inf(1) }},
+		{"negative-demand", func(s *System) { s.Pop.Rates[3] = -2 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := base()
+			// Popularity shares its rate slice; mutate a private copy.
+			s.Pop = demand.Popularity{Rates: append([]float64(nil), s.Pop.Rates...)}
+			tc.mut(&s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatal("invalid system accepted")
+			}
+			if !errors.Is(err, ErrSystem) {
+				t.Errorf("error %v does not wrap ErrSystem", err)
+			}
+			if _, rerr := s.Run(s.UniformStart(), 10, 0); rerr == nil {
+				t.Error("Run accepted the invalid system")
+			}
+		})
+	}
+}
+
+func TestRunRejectsNonFiniteState(t *testing.T) {
+	s := sys(utility.Step{Tau: 10})
+	x0 := s.UniformStart()
+	x0[0] = math.NaN()
+	if _, err := s.Run(x0, 10, 0); !errors.Is(err, ErrSystem) {
+		t.Errorf("NaN state: err=%v, want ErrSystem", err)
+	}
+	x0[0] = -3
+	if _, _, err := s.RunToSteadyState(x0, 10, 0, 1e-6); !errors.Is(err, ErrSystem) {
+		t.Errorf("negative state: err=%v, want ErrSystem", err)
+	}
+}
+
+// BenchmarkSteadyState measures the adaptive solver on the package's
+// headline workload, the Property-2 fixed-point run of the oracle.
+func BenchmarkSteadyState(b *testing.B) {
+	s := sys(utility.Step{Tau: 10})
+	x0 := s.UniformStart()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := s.RunToSteadyState(x0, 200000, 2, 1e-8); err != nil || !ok {
+			b.Fatalf("ok=%v err=%v", ok, err)
+		}
 	}
 }

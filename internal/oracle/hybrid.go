@@ -1,0 +1,81 @@
+package oracle
+
+// The hybrid ladder: the mean-field fast path (sim.RunHybrid) against
+// the full event simulation on the same welfare ladder the static checks
+// run. The gate is relative, not absolute — at every rung the hybrid
+// trial-mean welfare must land inside the full-sim confidence interval
+// (plus the ladder's usual bias floor), and no rung may silently fall
+// back to the event path. A fidelity regression in the fluid coupling,
+// the probe accounting, or the initial-placement replay moves the hybrid
+// mean out of the CI and fails the check.
+
+import (
+	"fmt"
+	"math"
+
+	"impatience/internal/alloc"
+	"impatience/internal/parallel"
+	"impatience/internal/rates"
+)
+
+// checkHybridLadder runs the hybrid engine at every ladder rung and
+// gates it against the full-sim CI recorded by getLadder.
+func (s *session) checkHybridLadder() CheckResult {
+	res := CheckResult{Pass: true, Seed: s.cfg.Seed}
+	ld := s.getLadder()
+	if ld.err != nil {
+		return infraFail(res, ld.err)
+	}
+	for k, n := range s.p.ladderN {
+		sc := s.p.scenario(n, s.cfg)
+		hom := sc.Homogeneous(ld.u)
+		opt, err := hom.GreedyOptimal(sc.Rho)
+		if err != nil {
+			return infraFail(res, fmt.Errorf("rung N=%d: greedy optimal: %w", n, err))
+		}
+		if s.cfg.BreakAllocation {
+			// Keep the simulated allocation aligned with the ladder's so
+			// the hybrid-vs-sim gate stays meaningful even while the
+			// negative control breaks the sim-vs-theory gates.
+			opt = alloc.Uniform(sc.Items, sc.Nodes, sc.Rho)
+		}
+		// A single community whose block rate is the homogeneous µ is the
+		// same contact law the ladder's fused stream draws from.
+		m, err := rates.New([]int{n}, [][]float64{{sc.Mu}}, nil)
+		if err != nil {
+			return infraFail(res, fmt.Errorf("rung N=%d: model: %w", n, err))
+		}
+		type out struct {
+			rate     float64
+			fellBack bool
+			reason   string
+		}
+		outs, err := parallel.RunTrials(sc.Trials, s.cfg.Workers, sc.Seed, func(trial int, seed uint64) (out, error) {
+			r, err := sc.RunStaticHybrid(ld.u, opt, m, trial, seed)
+			if err != nil {
+				return out{}, err
+			}
+			return out{rate: r.AvgUtilityRate, fellBack: r.Hybrid.FellBack, reason: r.Hybrid.Reason}, nil
+		})
+		if err != nil {
+			return infraFail(res, fmt.Errorf("rung N=%d: %w", n, err))
+		}
+		var mean float64
+		for _, o := range outs {
+			if o.fellBack {
+				return infraFail(res, fmt.Errorf("rung N=%d fell back to event simulation: %s", n, o.reason))
+			}
+			mean += o.rate / float64(len(outs))
+		}
+		full := ld.rungs[k]
+		tol := ladderCISlack*full.iv.Halfwidth + ladderAbsFloor*math.Abs(full.U)
+		dev := math.Abs(mean - full.iv.Center)
+		ok, line := assertLine(dev <= tol,
+			"N=%-4d hybrid %.5f vs full sim %.5f (CI ±%.5f): |Δ|=%.5f ≤ tol %.5f",
+			n, mean, full.iv.Center, full.iv.Halfwidth, dev, tol)
+		res.Details = append(res.Details, line)
+		res.Pass = res.Pass && ok
+		res.Effect = maxf(res.Effect, dev/tol)
+	}
+	return res
+}

@@ -1,0 +1,41 @@
+package oracle
+
+import "testing"
+
+// TestHybridLadderPasses runs the hybrid-vs-sim check in isolation on
+// the quick ladder: the mean-field fast path must land inside the full
+// simulation's confidence-interval gate at every rung, on the fluid path
+// (a fallback anywhere is an infrastructure failure inside the check).
+func TestHybridLadderPasses(t *testing.T) {
+	s := &session{cfg: Config{Seed: 1, Workers: 1, Hybrid: true}, p: quickParams()}
+	res := s.checkHybridLadder()
+	if !res.Pass {
+		t.Fatalf("hybrid ladder failed (effect %.3f):\n%v", res.Effect, res.Details)
+	}
+	if len(res.Details) != len(quickParams().ladderN) {
+		t.Errorf("%d rung lines for %d rungs", len(res.Details), len(quickParams().ladderN))
+	}
+	if res.Effect <= 0 || res.Effect > 1 {
+		t.Errorf("effect %g outside (0, 1] on a passing run", res.Effect)
+	}
+}
+
+// TestHybridCheckGated: the suite includes hybrid-vs-sim-ladder exactly
+// when Config.Hybrid asks for it.
+func TestHybridCheckGated(t *testing.T) {
+	has := func(cfg Config) bool {
+		s := &session{cfg: cfg, p: quickParams()}
+		for _, c := range s.checks() {
+			if c.name == "hybrid-vs-sim-ladder" {
+				return true
+			}
+		}
+		return false
+	}
+	if has(Config{}) {
+		t.Error("hybrid check present without opt-in")
+	}
+	if !has(Config{Hybrid: true}) {
+		t.Error("hybrid check missing with Hybrid set")
+	}
+}

@@ -57,6 +57,10 @@ type Config struct {
 	// the Property-1 fixed point, so the same balance and welfare gates
 	// apply unchanged.
 	Hardened bool
+	// Hybrid appends the hybrid-vs-sim ladder: the mean-field fast path
+	// (sim.RunHybrid) must land inside the full simulation's confidence
+	// interval at every ladder rung without falling back.
+	Hybrid bool
 	// Progress, if non-nil, receives one line per completed check.
 	Progress func(string)
 }
@@ -83,6 +87,7 @@ type Report struct {
 	Seed       uint64        `json:"seed"`
 	Broken     bool          `json:"broken,omitempty"`   // negative-control mode
 	Hardened   bool          `json:"hardened,omitempty"` // QCR check ran with the hardened reaction
+	Hybrid     bool          `json:"hybrid,omitempty"`   // hybrid-vs-sim ladder included
 	Pass       bool          `json:"pass"`
 	Checks     []CheckResult `json:"checks"`
 	ElapsedSec float64       `json:"elapsed_sec"`
@@ -137,7 +142,7 @@ type session struct {
 // checks lists the suite in execution order: cheap analytic differentials
 // first (they fail fast on gross breakage), then the simulation ladders.
 func (s *session) checks() []check {
-	return []check{
+	cs := []check{
 		{"meanfield-fixed-point", s.checkMeanFieldFixedPoint},
 		{"greedy-relaxed-sandwich", s.checkGreedyRelaxedSandwich},
 		{"stream-vs-materialized", s.checkStreamVsMaterialized},
@@ -146,6 +151,10 @@ func (s *session) checks() []check {
 		{"delay-distribution-ks", s.checkDelayKS},
 		{"qcr-replica-balance", s.checkQCRBalance},
 	}
+	if s.cfg.Hybrid {
+		cs = append(cs, check{"hybrid-vs-sim-ladder", s.checkHybridLadder})
+	}
+	return cs
 }
 
 // Check runs the full conformance suite and returns the structured
@@ -164,7 +173,7 @@ func Check(cfg Config) (*Report, error) {
 		mode = "full"
 	}
 	s := &session{cfg: cfg, p: p}
-	rep := &Report{Mode: mode, Seed: cfg.Seed, Broken: cfg.BreakAllocation, Hardened: cfg.Hardened, Pass: true}
+	rep := &Report{Mode: mode, Seed: cfg.Seed, Broken: cfg.BreakAllocation, Hardened: cfg.Hardened, Hybrid: cfg.Hybrid, Pass: true}
 	start := time.Now()
 	for _, c := range s.checks() {
 		t0 := time.Now()

@@ -42,23 +42,23 @@ type params struct {
 // statistically powered (the negative control must fail).
 func quickParams() params {
 	return params{
-		ladderN:    []int{40, 160, 640},
-		trials:     10,
-		items:      32,
-		rho:        4,
-		muBar:      2.5,
-		reqPerNode: 0.05,
-		duration:   400,
-		warmup:     0.3,
-		tau:        2,
-		topItems:   8,
-		minKSn:     200,
-		qcrN:       []int{32, 64, 128},
-		qcrItems:   24,
-		qcrTrials:  6,
+		ladderN:     []int{40, 160, 640},
+		trials:      10,
+		items:       32,
+		rho:         4,
+		muBar:       2.5,
+		reqPerNode:  0.05,
+		duration:    400,
+		warmup:      0.3,
+		tau:         2,
+		topItems:    8,
+		minKSn:      200,
+		qcrN:        []int{32, 64, 128},
+		qcrItems:    24,
+		qcrTrials:   6,
 		qcrDuration: 2000,
-		anaNodes:   50,
-		anaItems:   40,
+		anaNodes:    50,
+		anaItems:    40,
 	}
 }
 

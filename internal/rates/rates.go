@@ -220,6 +220,33 @@ func (m *Model) MeanPairRate() float64 {
 	return m.total / float64(trace.NumPairs(m.nodes))
 }
 
+// CommunitySize returns the number of nodes in community c.
+func (m *Model) CommunitySize(c int) int { return len(m.members[c]) }
+
+// Member returns the j-th node id of community c (ascending order).
+func (m *Model) Member(c, j int) int { return int(m.members[c][j]) }
+
+// BlockRate returns β_cd, the pairwise contact rate between one node of
+// community c and one node of community d (before per-node weights).
+func (m *Model) BlockRate(c, d int) float64 { return m.block[c][d] }
+
+// UniformWeights reports whether every node carries the same weight, in
+// which case members of one community are exchangeable — the property
+// the hybrid mean-field engine needs to treat a community as one fluid
+// sub-population.
+func (m *Model) UniformWeights() bool {
+	if m.weight == nil {
+		return true
+	}
+	w0 := m.weight[0]
+	for _, w := range m.weight[1:] {
+		if w != w0 {
+			return false
+		}
+	}
+	return true
+}
+
 // RateAt returns the model contact rate of the unordered pair {a, b}
 // (zero when a == b).
 func (m *Model) RateAt(a, b int) float64 {

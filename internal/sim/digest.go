@@ -82,5 +82,23 @@ func (r *Result) Digest() uint64 {
 		wi(t.CountersCapped)
 		wi(t.ReactionsClamped)
 	}
+	// Same nil-gating as the fault and adversary tallies: a run that
+	// never touched the hybrid engine digests identically to one built
+	// before it existed. Reason is descriptive text and stays out, like
+	// the delay instrumentation.
+	if t := r.Hybrid; t != nil {
+		wi(t.FluidNodes)
+		wi(t.BoundaryNodes)
+		wi(t.Windows)
+		wi(t.Violations)
+		wi(t.Demotions)
+		wf(t.MaxErr)
+		wf(t.FluidFraction)
+		b := 0
+		if t.FellBack {
+			b = 1
+		}
+		wi(b)
+	}
 	return h.Sum64()
 }

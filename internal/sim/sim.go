@@ -179,6 +179,11 @@ type Result struct {
 	// Adversary tallies injected misbehavior and the hardened reaction's
 	// interventions; nil when the adversary layer is disabled.
 	Adversary *adversary.Tally
+	// Hybrid tallies the hybrid-fidelity engine's accounting (fluid
+	// fraction, controller windows, demotions); nil for every run that
+	// did not go through RunHybrid, so plain runs digest identically to
+	// builds without the engine.
+	Hybrid *HybridTally
 }
 
 // Overhead tallies the communication cost of a run, in protocol units
@@ -1175,28 +1180,44 @@ func (s *state) initCaches() error {
 	// walk the free-count buckets from fullest to 1, ascending index,
 	// skipping holders. Between items, demote each used server one
 	// bucket, preserving ascending index order by subsequence merge.
-	order := make([]int, s.items)
+	return spreadInitial(s.items, s.servers, s.rho, want,
+		s.freeSlots,
+		func(i int) int { return s.counts[i] },
+		func(n, i int) bool { return s.Has(n, i) },
+		func(n, i int) error { return s.place(n, i, false) })
+}
+
+// spreadInitial is the initial-allocation greedy shared by the event
+// engine (state.initCaches) and the hybrid engine, which replays it
+// against per-community accumulators so the fluid starts from the exact
+// allocation the full simulation would place. The callbacks abstract
+// the cache state: freeSlots, count and has describe it (after any
+// sticky seeding), place commits one copy. The node sequence is a pure
+// function of (items, servers, rho, want, sticky layout), so both
+// replayers see identical placements.
+func spreadInitial(items, servers, rho int, want alloc.Counts, freeSlots func(int) int, count func(int) int, has func(n, i int) bool, place func(n, i int) error) error {
+	order := make([]int, items)
 	for i := range order {
 		order[i] = i
 	}
 	sort.SliceStable(order, func(a, b int) bool { return want[order[a]] > want[order[b]] })
-	buckets := make([][]int32, s.rho+1)
-	for n := 0; n < s.servers; n++ {
-		f := s.freeSlots(n)
+	buckets := make([][]int32, rho+1)
+	for n := 0; n < servers; n++ {
+		f := freeSlots(n)
 		buckets[f] = append(buckets[f], int32(n)) // ascending by construction
 	}
 	var taken []int // positions taken from the current bucket
 	for _, i := range order {
-		need := want[i] - s.counts[i]
-		for f := s.rho; f >= 1 && need > 0; f-- {
+		need := want[i] - count(i)
+		for f := rho; f >= 1 && need > 0; f-- {
 			b := buckets[f]
 			taken = taken[:0]
 			for pos := 0; pos < len(b) && need > 0; pos++ {
 				n := int(b[pos])
-				if s.Has(n, i) {
+				if has(n, i) {
 					continue
 				}
-				if err := s.place(n, i, false); err != nil {
+				if err := place(n, i); err != nil {
 					return err
 				}
 				need--
