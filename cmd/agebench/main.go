@@ -185,15 +185,17 @@ func main() {
 	adversaryOut := flag.String("adversary-out", "BENCH_adversary.json", "output path for the hardened-vs-vanilla QCR JSON report (empty = skip)")
 	scaleOut := flag.String("scale-out", "BENCH_scale.json", "output path for the million-node scale-ladder JSON report (empty = skip)")
 	hybridOut := flag.String("hybrid-out", "BENCH_hybrid.json", "output path for the hybrid-vs-event-sim JSON report (empty = skip)")
+	serveOut := flag.String("serve-out", "BENCH_serve.json", "output path for the serving-stack JSON report (empty = skip)")
 	trialsOnly := flag.Bool("trials-only", false, "run only the trial-engine benchmark")
 	contactsOnly := flag.Bool("contacts-only", false, "run only the contact-pipeline benchmark")
 	batchOnly := flag.Bool("batch-only", false, "run only the batch-vs-sequential benchmark")
 	adversaryOnly := flag.Bool("adversary-only", false, "run only the adversary-overhead benchmark")
 	scaleOnly := flag.Bool("scale-only", false, "run only the structured-rates scale ladder")
 	hybridOnly := flag.Bool("hybrid-only", false, "run only the hybrid-vs-event-sim benchmark")
+	serveOnly := flag.Bool("serve-only", false, "run only the serving-stack benchmark")
 	flag.Parse()
 
-	only := *trialsOnly || *contactsOnly || *batchOnly || *adversaryOnly || *scaleOnly || *hybridOnly
+	only := *trialsOnly || *contactsOnly || *batchOnly || *adversaryOnly || *scaleOnly || *hybridOnly || *serveOnly
 	if !only || *trialsOnly {
 		if err := run(*short, *workers, *out); err != nil {
 			fmt.Fprintln(os.Stderr, "agebench:", err)
@@ -226,6 +228,12 @@ func main() {
 	}
 	if (!only || *hybridOnly) && *hybridOut != "" {
 		if err := runHybrid(*short, *hybridOut); err != nil {
+			fmt.Fprintln(os.Stderr, "agebench:", err)
+			os.Exit(1)
+		}
+	}
+	if (!only || *serveOnly) && *serveOut != "" {
+		if err := runServe(*short, *serveOut); err != nil {
 			fmt.Fprintln(os.Stderr, "agebench:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,328 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strconv"
+	"time"
+
+	"impatience/internal/demand"
+	"impatience/internal/numeric"
+	"impatience/internal/serve"
+	"impatience/internal/stats"
+	"impatience/internal/utility"
+)
+
+// The serve benchmark measures the aged serving stack twice over:
+//
+//   - the solver ladder times a cold numeric.WaterFill against the
+//     warm-started numeric.WaterFillWarm re-solve after an EWMA-scale
+//     demand drift, at catalog sizes up to 3000, hard-checking that warm
+//     and cold agree within serveEqualTol on every coordinate; and
+//   - the serving section boots the full serve.Server behind a real
+//     loopback HTTP listener, replays a flash-crowd firehose as batched
+//     observation windows, and records the sustained synthetic request
+//     rate, solve counters, and allocation-query p50/p99 latency.
+//
+// Gates (hard errors, so CI fails loudly rather than uploading a bad
+// artifact): warm speedup ≥ serveMinSpeedup at every catalog ≥ 1000,
+// allocation equality within serveEqualTol everywhere, and sustained
+// synthetic load ≥ serveMinReqPerSec.
+const (
+	serveEqualTol     = 1e-9
+	serveMinSpeedup   = 5.0
+	serveMinReqPerSec = 100_000.0
+)
+
+type serveSolverRung struct {
+	Items       int     `json:"items"`
+	Resolves    int     `json:"resolves"`
+	ColdNsPerOp int64   `json:"cold_ns_per_solve"`
+	WarmNsPerOp int64   `json:"warm_ns_per_solve"`
+	Speedup     float64 `json:"warm_speedup"`
+	MaxAbsDelta float64 `json:"max_abs_delta_vs_cold"`
+}
+
+type serveServingSection struct {
+	Items              int     `json:"items"`
+	Servers            int     `json:"servers"`
+	Rho                int     `json:"rho"`
+	Windows            int     `json:"windows"`
+	SyntheticDuration  float64 `json:"synthetic_duration_sec"`
+	OfferedReqPerSec   float64 `json:"offered_req_per_sec"`
+	SustainedReqPerSec float64 `json:"sustained_req_per_sec"`
+	Resolves           uint64  `json:"resolves"`
+	WarmSolves         uint64  `json:"warm_solves"`
+	ColdSolves         uint64  `json:"cold_solves"`
+	Fallbacks          uint64  `json:"fallbacks"`
+	Queries            int     `json:"queries"`
+	QueryP50Ms         float64 `json:"query_p50_ms"`
+	QueryP99Ms         float64 `json:"query_p99_ms"`
+	AllocationsPerSec  float64 `json:"allocations_per_sec"`
+	WallSec            float64 `json:"wall_sec"`
+}
+
+type serveReport struct {
+	Benchmark string `json:"benchmark"`
+	provenance
+	scenarioParams
+	SingleCore  bool                `json:"single_core"`
+	EqualTol    float64             `json:"equal_tol"`
+	MinSpeedup  float64             `json:"min_speedup_gate"`
+	MinReqRate  float64             `json:"min_req_per_sec_gate"`
+	SolverRungs []serveSolverRung   `json:"solver_rungs"`
+	Serving     serveServingSection `json:"serving"`
+}
+
+// serveSolverLadder times cold vs warm re-solves at one catalog size. The
+// drift between re-solves is the gentle multiplicative kind the EWMA
+// estimator produces between windows — the regime the warm path serves.
+func serveSolverLadder(items, resolves int) (serveSolverRung, error) {
+	rung := serveSolverRung{Items: items, Resolves: resolves}
+	const servers, rho, mu = 100, 10, 0.05
+	f := utility.Step{Tau: 10}
+	pop := demand.Pareto(items, 1, 1000)
+	caps := make([]float64, items)
+	for i := range caps {
+		caps[i] = servers
+	}
+	p := numeric.WaterFillProblem{
+		Weights: append([]float64(nil), pop.Rates...),
+		Caps:    caps,
+		Budget:  float64(servers * rho),
+		Deriv:   func(x float64) float64 { return f.Phi(mu, x) },
+	}
+
+	x, err := numeric.WaterFill(p)
+	if err != nil {
+		return rung, err
+	}
+	lambda, err := numeric.RecoverLambda(p, x)
+	if err != nil {
+		return rung, err
+	}
+	warm := &numeric.WarmState{Lambda: lambda, X: x}
+
+	var coldTotal, warmTotal time.Duration
+	for k := 1; k <= resolves; k++ {
+		for i := range p.Weights {
+			p.Weights[i] *= 1 + 0.02*math.Sin(float64((i+1)*k))
+		}
+		t0 := time.Now()
+		xw, lw, err := numeric.WaterFillWarm(p, warm)
+		warmTotal += time.Since(t0)
+		if err != nil {
+			return rung, fmt.Errorf("warm re-solve %d at %d items: %w", k, items, err)
+		}
+		t1 := time.Now()
+		xc, err := numeric.WaterFill(p)
+		coldTotal += time.Since(t1)
+		if err != nil {
+			return rung, fmt.Errorf("cold re-solve %d at %d items: %w", k, items, err)
+		}
+		for i := range xw {
+			if d := math.Abs(xw[i] - xc[i]); d > rung.MaxAbsDelta {
+				rung.MaxAbsDelta = d
+			}
+		}
+		warm = &numeric.WarmState{Lambda: lw, X: xw}
+	}
+	rung.ColdNsPerOp = coldTotal.Nanoseconds() / int64(resolves)
+	rung.WarmNsPerOp = warmTotal.Nanoseconds() / int64(resolves)
+	if rung.WarmNsPerOp > 0 {
+		rung.Speedup = float64(rung.ColdNsPerOp) / float64(rung.WarmNsPerOp)
+	}
+	return rung, nil
+}
+
+// serveObserveBody renders an observation window as the sparse JSON map
+// /v1/observe takes (counts = rate·window).
+func serveObserveBody(pop demand.Popularity, window float64) ([]byte, float64) {
+	var buf bytes.Buffer
+	buf.WriteString(`{"window_sec":`)
+	buf.WriteString(strconv.FormatFloat(window, 'g', -1, 64))
+	buf.WriteString(`,"counts":{`)
+	var total float64
+	first := true
+	for i, r := range pop.Rates {
+		if r <= 0 {
+			continue
+		}
+		c := r * window
+		total += c
+		if !first {
+			buf.WriteByte(',')
+		}
+		first = false
+		buf.WriteByte('"')
+		buf.WriteString(strconv.Itoa(i))
+		buf.WriteString(`":`)
+		buf.WriteString(strconv.FormatFloat(c, 'g', -1, 64))
+	}
+	buf.WriteString("}}")
+	return buf.Bytes(), total
+}
+
+// runServeServing boots the full server on a loopback listener and
+// replays a flash-crowd firehose against it.
+func runServeServing(short bool) (serveServingSection, error) {
+	sec := serveServingSection{Items: 1000, Servers: 100, Rho: 10}
+	synthDuration, window := 20.0, 0.5
+	if short {
+		synthDuration = 8.0
+	}
+	rate := 150_000.0 // offered synthetic req/s, above the 100k gate
+
+	srv, err := serve.New(serve.Config{
+		Items:    sec.Items,
+		Servers:  sec.Servers,
+		Rho:      sec.Rho,
+		Mu:       0.05,
+		Utility:  "step:10",
+		HalfLife: 10,
+		Drift:    0.01,
+	})
+	if err != nil {
+		return sec, err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	base := demand.Pareto(sec.Items, 1, rate)
+	windows := int(synthDuration / window)
+	var folded float64
+	var latencies []float64
+	start := time.Now()
+	for k := 0; k < windows; k++ {
+		// Flash-crowd churn: rotate the rank order every 4 windows so the
+		// drift trigger and the warm path both do real work.
+		pop := base
+		if shift := (k / 4) * 37; shift > 0 {
+			pop = demand.Popularity{Rates: make([]float64, sec.Items)}
+			for i, r := range base.Rates {
+				pop.Rates[(i+shift)%sec.Items] = r
+			}
+		}
+		body, c := serveObserveBody(pop, window)
+		resp, err := client.Post(ts.URL+"/v1/observe", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return sec, err
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return sec, fmt.Errorf("observe window %d: HTTP %d", k, resp.StatusCode)
+		}
+		folded += c
+		for q := 0; q < 4; q++ {
+			t0 := time.Now()
+			qr, err := client.Get(ts.URL + "/v1/allocation")
+			if err != nil {
+				return sec, err
+			}
+			qr.Body.Close()
+			if qr.StatusCode != http.StatusOK {
+				return sec, fmt.Errorf("allocation query: HTTP %d", qr.StatusCode)
+			}
+			latencies = append(latencies, float64(time.Since(t0).Microseconds())/1000)
+		}
+	}
+	sec.WallSec = time.Since(start).Seconds()
+	sec.Windows = windows
+	sec.SyntheticDuration = synthDuration
+	sec.OfferedReqPerSec = folded / synthDuration
+	// Sustained = synthetic requests actually folded per wall-clock second:
+	// the honest measure of how fast the daemon drains the firehose.
+	sec.SustainedReqPerSec = folded / sec.WallSec
+	sec.Queries = len(latencies)
+	p := stats.Percentiles(latencies, 0.50, 0.99)
+	sec.QueryP50Ms, sec.QueryP99Ms = p[0], p[1]
+	sec.AllocationsPerSec = float64(len(latencies)) / sec.WallSec
+
+	st, err := srvStats(srv)
+	if err != nil {
+		return sec, err
+	}
+	sec.Resolves = st.Resolves
+	sec.WarmSolves = st.Solves.Warm
+	sec.ColdSolves = st.Solves.Cold
+	sec.Fallbacks = st.Solves.Fallback
+	return sec, nil
+}
+
+// srvStats reads the server's counters through the public stats endpoint
+// shape without another HTTP round trip.
+func srvStats(s *serve.Server) (serve.StatsResponse, error) {
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/v1/stats", nil)
+	s.Handler().ServeHTTP(rec, req)
+	var st serve.StatsResponse
+	err := json.Unmarshal(rec.Body.Bytes(), &st)
+	return st, err
+}
+
+func runServe(short bool, out string) error {
+	report := serveReport{
+		Benchmark:  "Serve/WarmWaterFillAndDaemon",
+		provenance: stamp(short),
+		SingleCore: runtime.GOMAXPROCS(0) == 1,
+		EqualTol:   serveEqualTol,
+		MinSpeedup: serveMinSpeedup,
+		MinReqRate: serveMinReqPerSec,
+		scenarioParams: scenarioParams{
+			Items:   1000,
+			Nodes:   100,
+			Rho:     10,
+			Mu:      0.05,
+			Schemes: []string{"warm-waterfill", "cold-waterfill"},
+		},
+	}
+
+	ladder := []int{100, 300, 1000, 3000}
+	resolves := 12
+	if short {
+		ladder = []int{300, 1000}
+		resolves = 6
+	}
+	for _, items := range ladder {
+		rung, err := serveSolverLadder(items, resolves)
+		if err != nil {
+			return err
+		}
+		report.SolverRungs = append(report.SolverRungs, rung)
+		fmt.Printf("serve solver items=%-5d cold %9d ns  warm %9d ns  speedup %5.1fx  maxΔ %.2g\n",
+			items, rung.ColdNsPerOp, rung.WarmNsPerOp, rung.Speedup, rung.MaxAbsDelta)
+		if rung.MaxAbsDelta > serveEqualTol {
+			return fmt.Errorf("serve gate: warm vs cold disagree by %g at %d items (tol %g)",
+				rung.MaxAbsDelta, items, serveEqualTol)
+		}
+		if items >= 1000 && rung.Speedup < serveMinSpeedup {
+			return fmt.Errorf("serve gate: warm speedup %.2fx at %d items below %.1fx",
+				rung.Speedup, items, serveMinSpeedup)
+		}
+	}
+
+	serving, err := runServeServing(short)
+	if err != nil {
+		return err
+	}
+	report.Serving = serving
+	fmt.Printf("serve daemon items=%d windows=%d offered %.0f req/s sustained %.0f req/s  warm/cold/fallback %d/%d/%d  p50 %.3fms p99 %.3fms\n",
+		serving.Items, serving.Windows, serving.OfferedReqPerSec, serving.SustainedReqPerSec,
+		serving.WarmSolves, serving.ColdSolves, serving.Fallbacks, serving.QueryP50Ms, serving.QueryP99Ms)
+	if serving.SustainedReqPerSec < serveMinReqPerSec {
+		return fmt.Errorf("serve gate: sustained %.0f req/s below %.0f",
+			serving.SustainedReqPerSec, serveMinReqPerSec)
+	}
+	if serving.Resolves == 0 || serving.WarmSolves == 0 {
+		return fmt.Errorf("serve gate: daemon solved %d times (%d warm); the warm path never engaged",
+			serving.Resolves, serving.WarmSolves)
+	}
+
+	return writeJSON(out, report)
+}

@@ -57,6 +57,30 @@ func (p Popularity) Validate() error {
 	return nil
 }
 
+// DriftL1 measures how far popularity b has drifted from a as half the L1
+// distance between the two normalized distributions — 0 for identical
+// shapes (any scale), 1 for disjoint support. The serving layer compares
+// it against a threshold to decide when a warm re-solve is worthwhile;
+// total-rate changes alone do not move the optimal allocation's shape, so
+// the metric deliberately ignores them.
+func DriftL1(a, b Popularity) float64 {
+	if len(a.Rates) != len(b.Rates) {
+		return 1
+	}
+	ta, tb := a.Total(), b.Total()
+	if ta == 0 || tb == 0 {
+		if ta == tb {
+			return 0
+		}
+		return 1
+	}
+	var d float64
+	for i := range a.Rates {
+		d += math.Abs(a.Rates[i]/ta - b.Rates[i]/tb)
+	}
+	return d / 2
+}
+
 // Pareto builds the paper's default popularity: d_i ∝ (i+1)^{-ω} for a
 // catalog of items, scaled so the aggregate request rate equals total.
 // ω = 1 is the value used throughout Section 6.

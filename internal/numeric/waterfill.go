@@ -88,39 +88,7 @@ func WaterFill(p WaterFillProblem) ([]float64, error) {
 	// allocation.
 	var fillErr error
 	fill := func(lambda float64) float64 {
-		var total float64
-		for i := range x {
-			w := p.Weights[i]
-			if w == 0 || p.Caps[i] == 0 {
-				x[i] = 0
-				continue
-			}
-			deriv := p.derivFor(i)
-			// Solve deriv(v) = lambda/w for v, clamped to [0, cap].
-			target := lambda / w
-			if deriv(p.Caps[i]) >= target {
-				x[i] = p.Caps[i]
-			} else if d0 := deriv(tiny); d0 <= target && !math.IsInf(d0, 1) {
-				x[i] = 0
-			} else {
-				v, err := InvertDecreasing(deriv, target, p.Caps[i]/2)
-				if err != nil {
-					if fillErr == nil {
-						fillErr = fmt.Errorf("numeric: water-filling coordinate %d at λ=%g: %w", i, lambda, err)
-					}
-					v = 0
-				}
-				if v < 0 {
-					v = 0
-				}
-				if v > p.Caps[i] {
-					v = p.Caps[i]
-				}
-				x[i] = v
-			}
-			total += x[i]
-		}
-		return total
+		return p.fillAt(lambda, x, nil, &fillErr)
 	}
 
 	// Bracket lambda: large lambda → small fill, small lambda → large fill.
@@ -163,7 +131,18 @@ func WaterFill(p WaterFillProblem) ([]float64, error) {
 		}
 	}
 	for i := 0; i < 200; i++ {
-		mid := math.Sqrt(lo * hi) // multiplier spans orders of magnitude: bisect in log space
+		prod := lo * hi
+		mid := math.Sqrt(prod) // multiplier spans orders of magnitude: bisect in log space
+		if prod < 0x1p-1022 || math.IsInf(prod, 1) {
+			// lo·hi left the normal float range (dual levels beyond
+			// ~1e±154, e.g. steep step-utility transforms): the product is
+			// zero, infinite, or subnormal with only a few significant
+			// bits, so √(lo·hi) would stop the bisection early — or with
+			// the bracket wide open — and the slack pass below would
+			// silently distort the allocation to repair the budget gap.
+			// Take the geometric mean via logs instead.
+			mid = math.Exp((math.Log(lo) + math.Log(hi)) / 2)
+		}
 		if mid <= lo || mid >= hi || mid == 0 {
 			break
 		}
@@ -177,8 +156,19 @@ func WaterFill(p WaterFillProblem) ([]float64, error) {
 	if fillErr != nil {
 		return nil, fillErr
 	}
-	// Distribute any residual rounding slack proportionally over interior
-	// coordinates so Σ x_i = Budget holds tightly.
+	if err := p.settle(x, total); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// settle distributes any residual rounding slack proportionally over
+// interior coordinates so Σ x_i = Budget holds tightly, then certifies the
+// budget constraint: if the λ-bisection stalled (flat or ill-conditioned
+// derivatives) the slack pass cannot repair an arbitrarily large gap, and
+// the result would quietly violate Σ x_i = Budget. The tolerance is loose
+// enough for honest rounding.
+func (p WaterFillProblem) settle(x []float64, total float64) error {
 	if slack := p.Budget - total; math.Abs(slack) > 1e-12*math.Max(1, p.Budget) {
 		var room float64
 		for i := range x {
@@ -203,21 +193,62 @@ func WaterFill(p WaterFillProblem) ([]float64, error) {
 			}
 		}
 	}
-	// Certify the budget constraint: if the λ-bisection stalled (flat or
-	// ill-conditioned derivatives) the slack pass above cannot repair an
-	// arbitrarily large gap, and the result would quietly violate
-	// Σ x_i = Budget. The tolerance is loose enough for honest rounding.
 	var sum float64
 	for _, v := range x {
 		if math.IsNaN(v) {
-			return nil, ErrNaN
+			return ErrNaN
 		}
 		sum += v
 	}
 	if math.Abs(sum-p.Budget) > 1e-6*math.Max(1, p.Budget) {
-		return nil, ErrNoConverge
+		return ErrNoConverge
 	}
-	return x, nil
+	return nil
+}
+
+// fillAt computes the per-coordinate allocation x_i(λ) = clamp(Deriv⁻¹(λ/w_i),
+// 0, Cap_i) into x and returns Σ x_i. guessAt, when non-nil, supplies the
+// starting point for the per-coordinate inversion; nil selects the cold-start
+// heuristic Cap_i/2. The first inversion failure is recorded in *fillErr so
+// callers reject allocations whose balance condition cannot be certified.
+func (p WaterFillProblem) fillAt(lambda float64, x []float64, guessAt func(i int) float64, fillErr *error) float64 {
+	var total float64
+	for i := range x {
+		w := p.Weights[i]
+		if w == 0 || p.Caps[i] == 0 {
+			x[i] = 0
+			continue
+		}
+		deriv := p.derivFor(i)
+		// Solve deriv(v) = lambda/w for v, clamped to [0, cap].
+		target := lambda / w
+		if deriv(p.Caps[i]) >= target {
+			x[i] = p.Caps[i]
+		} else if d0 := deriv(tiny); d0 <= target && !math.IsInf(d0, 1) {
+			x[i] = 0
+		} else {
+			guess := p.Caps[i] / 2
+			if guessAt != nil {
+				guess = guessAt(i)
+			}
+			v, err := InvertDecreasing(deriv, target, guess)
+			if err != nil {
+				if *fillErr == nil {
+					*fillErr = fmt.Errorf("numeric: water-filling coordinate %d at λ=%g: %w", i, lambda, err)
+				}
+				v = 0
+			}
+			if v < 0 {
+				v = 0
+			}
+			if v > p.Caps[i] {
+				v = p.Caps[i]
+			}
+			x[i] = v
+		}
+		total += x[i]
+	}
+	return total
 }
 
 // tiny is the smallest argument at which the water-filling solver probes a

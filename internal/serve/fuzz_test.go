@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"math"
+	"testing"
+
+	"impatience/internal/utility"
+)
+
+// FuzzServeRequest fuzzes the observe-request decoder: arbitrary bytes
+// must either be rejected or produce a fully validated window — finite
+// positive length, dense counts of the catalog size, every entry finite
+// and non-negative. A panic or an invalid accepted window is a bug.
+func FuzzServeRequest(f *testing.F) {
+	f.Add([]byte(`{"window_sec":1,"counts":{"0":10,"3":2}}`), 8)
+	f.Add([]byte(`{"window_sec":0.5,"counts":{}}`), 1)
+	f.Add([]byte(`{"window_sec":-1,"counts":{"0":1}}`), 4)
+	f.Add([]byte(`{"window_sec":1,"counts":{"7":1}}`), 4)
+	f.Add([]byte(`{"window_sec":1,"counts":{"-2":3}}`), 4)
+	f.Add([]byte(`{"window_sec":1e308,"counts":{"0":1e308}}`), 2)
+	f.Add([]byte(`not json`), 4)
+	f.Fuzz(func(t *testing.T, data []byte, items int) {
+		if items <= 0 || items > 1<<12 {
+			return
+		}
+		window, counts, err := ParseObserve(data, items)
+		if err != nil {
+			if counts != nil {
+				t.Fatalf("rejected input returned counts %v", counts)
+			}
+			return
+		}
+		if !(window > 0) || math.IsInf(window, 1) || math.IsNaN(window) {
+			t.Fatalf("accepted window %g", window)
+		}
+		if len(counts) != items {
+			t.Fatalf("accepted counts of length %d for %d items", len(counts), items)
+		}
+		for i, c := range counts {
+			if c < 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+				t.Fatalf("accepted count[%d]=%g", i, c)
+			}
+		}
+		// Accepted windows must be foldable: the estimator re-validates and
+		// must agree with the decoder about what is clean input.
+		e, err := NewEstimator(items, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Fold(counts, window); err != nil {
+			t.Fatalf("decoder accepted a window the estimator rejects: %v", err)
+		}
+	})
+}
+
+// FuzzUtilitySpec fuzzes the ϕ/ψ table cache keying: any spec the parser
+// accepts must produce a table whose canonical name round-trips — asking
+// again by canonical name must hit the same cached entry, never build a
+// second table for the same utility.
+func FuzzUtilitySpec(f *testing.F) {
+	f.Add("step:10", 0.01)
+	f.Add("exp:0.5", 0.02)
+	f.Add("exponential:0.5", 0.02)
+	f.Add("power:-1", 0.05)
+	f.Add("power:1.5", 0.05)
+	f.Add("neglog", 0.01)
+	f.Add("log", 0.01)
+	f.Add("step:-3", 0.01)
+	f.Add("step:1e309", 0.01)
+	f.Add("", 0.01)
+	f.Fuzz(func(t *testing.T, spec string, mu float64) {
+		if !(mu > 0) || mu > 1e6 {
+			return
+		}
+		const servers = 12
+		c := NewTableCache(64)
+		a, err := c.Get(spec, mu, servers)
+		if err != nil {
+			if c.Len() != 0 {
+				t.Fatalf("cache mutated by rejected spec %q", spec)
+			}
+			return
+		}
+		fn, err := utility.Parse(spec)
+		if err != nil {
+			t.Fatalf("cache accepted spec %q the parser rejects: %v", spec, err)
+		}
+		if a.Utility != fn.Name() {
+			t.Fatalf("table for %q keyed as %q, canonical name is %q", spec, a.Utility, fn.Name())
+		}
+		// The canonical name itself is not necessarily a parseable spec, but
+		// re-asking with the original spec must hit the same entry.
+		b, err := c.Get(spec, mu, servers)
+		if err != nil {
+			t.Fatalf("second lookup of %q failed: %v", spec, err)
+		}
+		if a != b {
+			t.Fatalf("spec %q built two tables for one canonical key", spec)
+		}
+		if c.Len() != 1 {
+			t.Fatalf("cache holds %d entries after one spec", c.Len())
+		}
+	})
+}

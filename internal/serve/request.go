@@ -1,0 +1,51 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// ObserveRequest is the wire form of one observation window posted to
+// /v1/observe: the window length in seconds and a sparse map from item
+// index (decimal string, JSON object keys cannot be numbers) to request
+// count within the window.
+type ObserveRequest struct {
+	WindowSec float64            `json:"window_sec"`
+	Counts    map[string]float64 `json:"counts"`
+}
+
+// ParseObserve decodes and fully validates an observation window against
+// a catalog of items, returning the window length and a dense count
+// vector. It never mutates shared state, so handlers can reject bad input
+// before touching the estimator: malformed JSON, non-positive or
+// non-finite windows, item indices outside [0, items), and negative or
+// non-finite counts are all errors.
+func ParseObserve(data []byte, items int) (float64, []float64, error) {
+	var req ObserveRequest
+	if err := json.Unmarshal(data, &req); err != nil {
+		return 0, nil, fmt.Errorf("serve: malformed observe body: %v", err)
+	}
+	if !(req.WindowSec > 0) || math.IsInf(req.WindowSec, 1) {
+		return 0, nil, fmt.Errorf("serve: window_sec=%g, want finite > 0", req.WindowSec)
+	}
+	if len(req.Counts) > items {
+		return 0, nil, fmt.Errorf("serve: %d distinct items in window exceeds catalog size %d", len(req.Counts), items)
+	}
+	counts := make([]float64, items)
+	for key, c := range req.Counts {
+		i, err := strconv.Atoi(key)
+		if err != nil {
+			return 0, nil, fmt.Errorf("serve: item key %q is not an integer index", key)
+		}
+		if i < 0 || i >= items {
+			return 0, nil, fmt.Errorf("serve: item %d outside catalog [0, %d)", i, items)
+		}
+		if c < 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+			return 0, nil, fmt.Errorf("serve: item %d count %g, want finite ≥ 0", i, c)
+		}
+		counts[i] = c
+	}
+	return req.WindowSec, counts, nil
+}

@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"math"
+	"testing"
+
+	"impatience/internal/demand"
+	"impatience/internal/numeric"
+	"impatience/internal/utility"
+	"impatience/internal/welfare"
+)
+
+// TestSolverMatchesRelaxedOptimal pins the solver wrapper to the same
+// answer as the offline welfare.RelaxedOptimal path for the paper's
+// default scenario.
+func TestSolverMatchesRelaxedOptimal(t *testing.T) {
+	f := utility.Step{Tau: 10}
+	pop := demand.Pareto(100, 1, 60)
+	const servers, rho, mu = 40, 10, 0.01
+
+	s, err := NewSolver(f, mu, servers, rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, lambda, warm, err := s.Solve(pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm {
+		t.Error("first solve reported warm")
+	}
+	if !(lambda > 0) {
+		t.Errorf("λ=%g, want > 0", lambda)
+	}
+	h := welfare.Homogeneous{Utility: f, Pop: pop, Mu: mu, Servers: servers, Clients: 1000}
+	want, err := h.RelaxedOptimal(rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if x[i] != want[i] {
+			t.Fatalf("coordinate %d: solver %g vs welfare.RelaxedOptimal %g", i, x[i], want[i])
+		}
+	}
+}
+
+// TestSolverWarmPathEngagesAndAgrees drifts demand across several solves:
+// after the cold seed every solve should take the warm path, and each must
+// agree with an independent cold solve to the property-test tolerance.
+func TestSolverWarmPathEngagesAndAgrees(t *testing.T) {
+	f := utility.Exponential{Nu: 0.5}
+	const servers, rho, mu = 30, 8, 0.02
+	s, err := NewSolver(f, mu, servers, rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := demand.Pareto(200, 1, 100)
+	if _, _, _, err := s.Solve(pop); err != nil {
+		t.Fatal(err)
+	}
+	for hop := 1; hop <= 5; hop++ {
+		for i := range pop.Rates {
+			pop.Rates[i] *= 1 + 0.05*math.Sin(float64(i*hop))
+		}
+		x, _, warm, err := s.Solve(pop)
+		if err != nil {
+			t.Fatalf("hop %d: %v", hop, err)
+		}
+		if !warm {
+			t.Errorf("hop %d took the cold path", hop)
+		}
+		cold, _, _, err := mustCold(f, mu, servers, rho, pop)
+		if err != nil {
+			t.Fatalf("hop %d cold reference: %v", hop, err)
+		}
+		for i := range x {
+			if d := math.Abs(x[i] - cold[i]); d > 1e-9 {
+				t.Fatalf("hop %d coordinate %d: warm %g vs cold %g (Δ=%g)", hop, i, x[i], cold[i], d)
+			}
+		}
+	}
+	st := s.Stats()
+	if st.Cold != 1 || st.Warm != 5 || st.Fallback != 0 {
+		t.Errorf("stats %+v, want cold=1 warm=5 fallback=0", st)
+	}
+}
+
+// mustCold solves from scratch through a fresh Solver (no warm state).
+func mustCold(f utility.Function, mu float64, servers, rho int, pop demand.Popularity) ([]float64, float64, bool, error) {
+	s, err := NewSolver(f, mu, servers, rho)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	return s.Solve(pop)
+}
+
+// TestSolverFallbackOnPoisonedWarmState seeds the solver with a warm
+// state that cannot bracket the new dual level and checks it falls back
+// to the cold path instead of failing or returning garbage.
+func TestSolverFallbackOnPoisonedWarmState(t *testing.T) {
+	f := utility.Step{Tau: 10}
+	const servers, rho, mu = 20, 5, 0.01
+	s, err := NewSolver(f, mu, servers, rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := demand.Pareto(50, 1, 60)
+	// A dual level absurdly far from any bracket the expansion reaches.
+	s.SetWarmState(&numeric.WarmState{Lambda: 1e290, X: make([]float64, 50)})
+	x, lambda, warm, err := s.Solve(pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm {
+		t.Error("poisoned warm state reported a warm solve")
+	}
+	if s.Stats().Fallback != 1 || s.Stats().Cold != 1 {
+		t.Errorf("stats %+v, want fallback=1 cold=1", s.Stats())
+	}
+	cold, _, _, err := mustCold(f, mu, servers, rho, pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if x[i] != cold[i] {
+			t.Fatalf("coordinate %d: fallback %g vs cold %g", i, x[i], cold[i])
+		}
+	}
+	if !(lambda > 0) {
+		t.Errorf("λ=%g after fallback, want > 0", lambda)
+	}
+}
+
+// TestSolverAllDemandSaturated pins the λ=0 regime: a budget large enough
+// to cap every demanded item leaves no interior coordinate, so there is
+// no dual level to warm-start from and the next solve is cold again.
+func TestSolverAllDemandSaturated(t *testing.T) {
+	f := utility.Step{Tau: 10}
+	s, err := NewSolver(f, 0.01, 10, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 items, caps 10 each, budget 90: with only 2 demanded items the
+	// effective capacity (20) is below the budget... that would be
+	// infeasible, so demand 9 items of 10 → effCap 90 = budget.
+	pop := demand.Popularity{Rates: make([]float64, 10)}
+	for i := 0; i < 9; i++ {
+		pop.Rates[i] = float64(i + 1)
+	}
+	x, lambda, warm, err := s.Solve(pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm || lambda != 0 {
+		t.Errorf("saturated solve: warm=%v λ=%g, want cold λ=0", warm, lambda)
+	}
+	for i := 0; i < 9; i++ {
+		if x[i] != 10 {
+			t.Errorf("demanded item %d got %g, want cap 10", i, x[i])
+		}
+	}
+	if x[9] != 0 {
+		t.Errorf("undemanded item got %g, want 0", x[9])
+	}
+	if _, _, warm, err = s.Solve(pop); err != nil || warm {
+		t.Errorf("second saturated solve: warm=%v err=%v, want cold nil", warm, err)
+	}
+}

@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"impatience/internal/utility"
+)
+
+// Tables holds the precomputed ϕ/ψ values for one delay-utility at one
+// (µ, |S|) operating point: Psi(y) for integer query counters y = 1..|S|
+// (the QCR reaction of Property 2 only ever sees counters in that range)
+// and Phi(x) on the same integer grid. Building one costs |S| transform
+// evaluations — trivial for closed-form families, expensive for Generic
+// quadrature utilities, which is why the cache exists.
+type Tables struct {
+	Utility string // canonical name, e.g. "step(τ=10)"
+	Mu      float64
+	Servers int
+	psi     []float64 // psi[y-1] = ψ(y), y = 1..Servers
+	phi     []float64 // phi[x-1] = ϕ(x), x = 1..Servers
+}
+
+// Psi returns ψ(y) for an integer counter 1 ≤ y ≤ |S|; out-of-range
+// counters return NaN so callers cannot mistake them for a valid reaction.
+func (t *Tables) Psi(y int) float64 {
+	if y < 1 || y > len(t.psi) {
+		return math.NaN()
+	}
+	return t.psi[y-1]
+}
+
+// Phi returns ϕ(x) for an integer replica count 1 ≤ x ≤ |S|.
+func (t *Tables) Phi(x int) float64 {
+	if x < 1 || x > len(t.phi) {
+		return math.NaN()
+	}
+	return t.phi[x-1]
+}
+
+// TableCache caches Tables keyed by the *canonical* utility name (so the
+// spec aliases "exp:0.5" and "exponential:0.5" share one entry) plus the
+// (µ, |S|) operating point. The cache holds at most max entries; when
+// full, an arbitrary entry is evicted — the workload is a handful of hot
+// utilities, so any eviction policy keeps them resident.
+type TableCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*Tables
+}
+
+// NewTableCache builds a cache bounded to max entries (minimum 1).
+func NewTableCache(max int) *TableCache {
+	if max < 1 {
+		max = 1
+	}
+	return &TableCache{max: max, entries: make(map[string]*Tables)}
+}
+
+// Len returns the number of cached tables.
+func (c *TableCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// key builds the cache key from the canonical utility name and the
+// operating point. %.17g keeps distinct float64 µ values distinct.
+func tableKey(canonical string, mu float64, servers int) string {
+	return fmt.Sprintf("%s|mu=%.17g|S=%d", canonical, mu, servers)
+}
+
+// Get parses spec, returns the cached Tables for its canonical name at
+// (µ, |S|), building and inserting them on a miss. Unknown specs and
+// invalid operating points are errors; the cache is not mutated on error.
+func (c *TableCache) Get(spec string, mu float64, servers int) (*Tables, error) {
+	f, err := utility.Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	if !(mu > 0) || math.IsInf(mu, 1) {
+		return nil, fmt.Errorf("serve: table for µ=%g, want finite > 0", mu)
+	}
+	if servers < 1 {
+		return nil, fmt.Errorf("serve: table for %d servers, want ≥ 1", servers)
+	}
+	key := tableKey(f.Name(), mu, servers)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t, ok := c.entries[key]; ok {
+		return t, nil
+	}
+	t := buildTables(f, mu, servers)
+	if len(c.entries) >= c.max {
+		for k := range c.entries {
+			delete(c.entries, k)
+			break
+		}
+	}
+	c.entries[key] = t
+	return t, nil
+}
+
+func buildTables(f utility.Function, mu float64, servers int) *Tables {
+	t := &Tables{
+		Utility: f.Name(),
+		Mu:      mu,
+		Servers: servers,
+		psi:     make([]float64, servers),
+		phi:     make([]float64, servers),
+	}
+	for k := 1; k <= servers; k++ {
+		t.psi[k-1] = utility.Psi(f, mu, float64(servers), float64(k))
+		t.phi[k-1] = f.Phi(mu, float64(k))
+	}
+	return t
+}

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"math"
+	"testing"
+
+	"impatience/internal/utility"
+)
+
+func TestTableCacheCanonicalAliasing(t *testing.T) {
+	c := NewTableCache(8)
+	a, err := c.Get("exp:0.5", 0.01, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Get("exponential:0.5", 0.01, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("spec aliases exp:0.5 / exponential:0.5 built two tables")
+	}
+	if c.Len() != 1 {
+		t.Errorf("cache holds %d entries, want 1", c.Len())
+	}
+	// A different operating point is a different table.
+	d, err := c.Get("exp:0.5", 0.02, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == a || c.Len() != 2 {
+		t.Errorf("distinct µ shared a table (len=%d)", c.Len())
+	}
+}
+
+func TestTablesMatchDirectTransforms(t *testing.T) {
+	const mu, servers = 0.01, 25
+	c := NewTableCache(4)
+	tb, err := c.Get("step:10", mu, servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := utility.Step{Tau: 10}
+	for y := 1; y <= servers; y++ {
+		if got, want := tb.Psi(y), utility.Psi(f, mu, servers, float64(y)); got != want {
+			t.Fatalf("ψ(%d) = %g, want %g", y, got, want)
+		}
+		if got, want := tb.Phi(y), f.Phi(mu, float64(y)); got != want {
+			t.Fatalf("ϕ(%d) = %g, want %g", y, got, want)
+		}
+	}
+	if !math.IsNaN(tb.Psi(0)) || !math.IsNaN(tb.Psi(servers+1)) || !math.IsNaN(tb.Phi(0)) {
+		t.Error("out-of-range table lookups must be NaN")
+	}
+}
+
+func TestTableCacheRejectsInvalid(t *testing.T) {
+	c := NewTableCache(4)
+	for name, call := range map[string]func() error{
+		"unknown-family": func() error { _, err := c.Get("hyperbolic:2", 0.01, 10); return err },
+		"malformed":      func() error { _, err := c.Get("step:", 0.01, 10); return err },
+		"zero-mu":        func() error { _, err := c.Get("step:10", 0, 10); return err },
+		"inf-mu":         func() error { _, err := c.Get("step:10", math.Inf(1), 10); return err },
+		"no-servers":     func() error { _, err := c.Get("step:10", 0.01, 0); return err },
+	} {
+		if call() == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if c.Len() != 0 {
+		t.Errorf("cache mutated on error: %d entries", c.Len())
+	}
+}
+
+func TestTableCacheBounded(t *testing.T) {
+	c := NewTableCache(3)
+	specs := []string{"step:1", "step:2", "step:3", "step:4", "step:5"}
+	for _, s := range specs {
+		if _, err := c.Get(s, 0.01, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() > 3 {
+		t.Errorf("cache grew to %d entries, bound is 3", c.Len())
+	}
+}

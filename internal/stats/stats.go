@@ -72,6 +72,41 @@ func Percentile(xs []float64, p float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
+// Percentiles returns the quantiles at each p in ps with the same linear
+// interpolation as Percentile, sorting the sample once. Latency reports
+// that need p50 and p99 from the same large sample use this instead of
+// two Percentile calls (each of which copies and re-sorts).
+func Percentiles(xs []float64, ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	if len(xs) == 0 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	for k, p := range ps {
+		switch {
+		case p <= 0:
+			out[k] = sorted[0]
+		case p >= 1:
+			out[k] = sorted[len(sorted)-1]
+		default:
+			pos := p * float64(len(sorted)-1)
+			lo := int(math.Floor(pos))
+			hi := int(math.Ceil(pos))
+			if lo == hi {
+				out[k] = sorted[lo]
+			} else {
+				frac := pos - float64(lo)
+				out[k] = sorted[lo]*(1-frac) + sorted[hi]*frac
+			}
+		}
+	}
+	return out
+}
+
 // String renders a Summary compactly.
 func (s Summary) String() string {
 	return fmt.Sprintf("n=%d mean=%.4g ± %.2g [p5=%.4g p95=%.4g]", s.N, s.Mean, s.Stddev, s.P5, s.P95)
