@@ -1,0 +1,303 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"impatience/internal/core"
+	"impatience/internal/demand"
+	"impatience/internal/rates"
+	"impatience/internal/sim"
+	"impatience/internal/trace"
+	"impatience/internal/utility"
+)
+
+// The kernel benchmark (-kernel-only) measures the devirtualized contact
+// kernel in isolation: the same community workload runs twice on the
+// same binary — once with Config.ReferenceKernel replaying the
+// pre-optimization path (Next-per-contact streaming, interface utility
+// dispatch, hooks always invoked) and once on the fast path (batched
+// streaming, monomorphic utility kernels, dispatch-free meeting loop) —
+// and BENCH_kernel.json records ns/contact before and after at
+// N ∈ {10³, 10⁴, 10⁵}.
+//
+// Two claims, two kinds of gate. The portable claim is bit-identity:
+// every cell hard-fails unless the fast and reference runs produce the
+// same Result digest. The measured claim is the speedup: the event-path
+// (Static) rows are gated at kernelMinSpeedup in full mode; short mode
+// records the ratios without enforcing them, because CI smoke runners
+// are too noisy for a wall-clock gate. The per-rung event rows step a
+// pre-materialized trace, so they time the simulation kernel alone; the
+// streamed row times generation + simulation end-to-end through the
+// bulk seam and is reported unguarded as provenance.
+
+// kernelMinSpeedup is the full-mode acceptance floor for the Static
+// (event-path) rows: fast ns/contact must beat reference by ≥ 1.3×.
+const kernelMinSpeedup = 1.3
+
+// kernelRungSpec sizes one rung: community shape plus a duration chosen
+// so every rung processes a comparable contact volume (contact volume
+// per simulated minute is perNodeRate·N/2).
+type kernelRungSpec struct {
+	nodes       int
+	communities int
+	duration    float64
+}
+
+func kernelLadder(short bool) []kernelRungSpec {
+	// Durations are sized so the contact loop dwarfs the per-run O(N·items)
+	// state setup that Run pays in both modes (~10⁶–2·10⁶ contacts per
+	// full rung): with too few contacts per run the common setup cost
+	// dilutes the kernel speedup into noise. Short mode trades margin for
+	// wall time, which is one reason its gate is advisory.
+	if short {
+		return []kernelRungSpec{
+			{nodes: 1_000, communities: 8, duration: 120},
+			{nodes: 10_000, communities: 32, duration: 24},
+			{nodes: 100_000, communities: 32, duration: 8},
+		}
+	}
+	return []kernelRungSpec{
+		{nodes: 1_000, communities: 8, duration: 800},
+		{nodes: 10_000, communities: 32, duration: 80},
+		{nodes: 100_000, communities: 32, duration: 16},
+	}
+}
+
+type kernelCell struct {
+	Policy            string  `json:"policy"`
+	RefNsPerContact   float64 `json:"ref_ns_per_contact"`
+	FastNsPerContact  float64 `json:"fast_ns_per_contact"`
+	Speedup           float64 `json:"speedup"`
+	Digest            string  `json:"digest"`
+	DigestMatch       bool    `json:"digest_match"`
+	GatedEventPath    bool    `json:"gated_event_path"`
+	Fulfillments      int     `json:"fulfillments"`
+	ContactsSimulated int     `json:"contacts_simulated"`
+}
+
+type kernelRungReport struct {
+	Nodes       int          `json:"nodes"`
+	Communities int          `json:"communities"`
+	Duration    float64      `json:"duration_min"`
+	Contacts    int          `json:"contacts"`
+	Event       []kernelCell `json:"event_path"`
+	Streamed    kernelCell   `json:"streamed_end_to_end"`
+}
+
+type kernelReport struct {
+	Benchmark string `json:"benchmark"`
+	provenance
+	SingleCore  bool               `json:"single_core"`
+	Note        string             `json:"note"`
+	MinSpeedup  float64            `json:"min_speedup_gate"`
+	GateApplied bool               `json:"gate_applied"`
+	Items       int                `json:"items"`
+	Rho         int                `json:"rho"`
+	Rungs       []kernelRungReport `json:"rungs"`
+}
+
+// kernelModel mirrors the scale ladder's community split: the per-node
+// contact budget at paper defaults, 70% intra- / 30% cross-community.
+func kernelModel(spec kernelRungSpec) (*rates.Model, error) {
+	perComm := spec.nodes / spec.communities
+	return rates.NewCommunity(rates.CommunityConfig{
+		Nodes:       spec.nodes,
+		Communities: spec.communities,
+		In:          0.7 * perNodeRate / float64(perComm-1),
+		Out:         0.3 * perNodeRate / float64(spec.nodes-perComm),
+	})
+}
+
+const (
+	kernelItems = 4
+	kernelRho   = 2
+	kernelSeed  = 41
+)
+
+// kernelConfig assembles one run. The policy is built fresh per run
+// (QCR is stateful); reference selects the pre-optimization path.
+func kernelConfig(policy string, reference bool) sim.Config {
+	// One request per node-minute against 2.45 contacts per node-minute:
+	// enough demand that fulfillment dispatch matters, lean enough that
+	// the (mode-invariant) arrival bookkeeping does not drown the
+	// per-contact savings at cache-hostile N.
+	cfg := sim.Config{
+		Rho:             kernelRho,
+		Utility:         utility.Step{Tau: 10},
+		Pop:             demand.Pareto(kernelItems, 1, 1),
+		Seed:            kernelSeed,
+		ReferenceKernel: reference,
+	}
+	switch policy {
+	case "qcr":
+		cfg.Policy = &core.QCR{Reaction: core.PathReplication(0.5), Seed: 7}
+	default:
+		cfg.Policy = core.Static{Label: "uni"}
+	}
+	return cfg
+}
+
+// timeKernelRun executes one run and returns (wall ns, digest, contacts
+// stepped, fulfillments). Exactly one of tr / src drives it.
+func timeKernelRun(cfg sim.Config, tr *trace.Trace, src trace.Source) (int64, uint64, int, int, error) {
+	cfg.Trace, cfg.Contacts = tr, src
+	// Collect before timing: earlier rungs' dead traces would otherwise be
+	// swept inside whichever timed run trips the next GC cycle, and the
+	// before/after comparison would inherit that accident of ordering.
+	runtime.GC()
+	start := time.Now()
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	return time.Since(start).Nanoseconds(), res.Digest(), res.Meetings, res.Fulfillments, nil
+}
+
+// materialize drains the rung's structured source into a trace so the
+// event-path rows time the simulation kernel with generation excluded.
+func materialize(m *rates.Model, spec kernelRungSpec) (*trace.Trace, error) {
+	src, err := rates.NewSharded(m, spec.duration, kernelSeed, 0)
+	if err != nil {
+		return nil, err
+	}
+	tr := &trace.Trace{Nodes: spec.nodes, Duration: spec.duration}
+	buf := make([]trace.Contact, 4096)
+	for {
+		n := src.NextBatch(buf)
+		if n == 0 {
+			break
+		}
+		tr.Contacts = append(tr.Contacts, buf[:n]...)
+	}
+	return tr, nil
+}
+
+func runKernel(short bool, out string) error {
+	report := kernelReport{
+		Benchmark:   "Kernel/DevirtualizedContactLoop",
+		provenance:  stamp(short),
+		SingleCore:  runtime.GOMAXPROCS(0) == 1,
+		MinSpeedup:  kernelMinSpeedup,
+		GateApplied: !short,
+		Items:       kernelItems,
+		Rho:         kernelRho,
+	}
+	if short {
+		report.Note = "short mode: speedups recorded but not gated (CI smoke runners are too noisy " +
+			"for a wall-clock gate); digest equality is enforced in every mode"
+	}
+	reps := 3
+	if short {
+		reps = 2
+	}
+	for _, spec := range kernelLadder(short) {
+		rung, err := runKernelRung(spec, reps, !short)
+		if err != nil {
+			return fmt.Errorf("N=%d: %w", spec.nodes, err)
+		}
+		report.Rungs = append(report.Rungs, *rung)
+	}
+	return writeJSON(out, report)
+}
+
+// measureCell times reference and fast runs of one policy, alternating
+// modes and keeping the minimum wall time of each across reps — the
+// standard defense against scheduler noise for single-digit-second
+// cells. run must behave identically call to call.
+func measureCell(policy string, reps int, run func(cfg sim.Config) (int64, uint64, int, int, error)) (kernelCell, error) {
+	cell := kernelCell{Policy: policy}
+	var refNs, fastNs int64
+	var refDigest, fastDigest uint64
+	var contacts, fuls int
+	for rep := 0; rep < reps; rep++ {
+		for _, reference := range []bool{true, false} {
+			ns, digest, n, f, err := run(kernelConfig(policy, reference))
+			if err != nil {
+				return cell, err
+			}
+			if reference {
+				if rep == 0 || ns < refNs {
+					refNs = ns
+				}
+				refDigest = digest
+			} else {
+				if rep == 0 || ns < fastNs {
+					fastNs = ns
+				}
+				fastDigest, contacts, fuls = digest, n, f
+			}
+		}
+	}
+	if contacts == 0 {
+		return cell, fmt.Errorf("%s: no contacts simulated", policy)
+	}
+	cell.RefNsPerContact = float64(refNs) / float64(contacts)
+	cell.FastNsPerContact = float64(fastNs) / float64(contacts)
+	cell.Speedup = float64(refNs) / float64(fastNs)
+	cell.Digest = fmt.Sprintf("%#016x", fastDigest)
+	cell.DigestMatch = refDigest == fastDigest
+	cell.ContactsSimulated = contacts
+	cell.Fulfillments = fuls
+	if !cell.DigestMatch {
+		return cell, fmt.Errorf("%s: fast kernel digest %#x diverged from reference %#x",
+			policy, fastDigest, refDigest)
+	}
+	return cell, nil
+}
+
+func runKernelRung(spec kernelRungSpec, reps int, gate bool) (*kernelRungReport, error) {
+	m, err := kernelModel(spec)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := materialize(m, spec)
+	if err != nil {
+		return nil, err
+	}
+	rung := &kernelRungReport{
+		Nodes:       spec.nodes,
+		Communities: spec.communities,
+		Duration:    spec.duration,
+		Contacts:    len(tr.Contacts),
+	}
+	// Untimed warm-up: first touch of the rung's heap footprint.
+	if _, _, _, _, err := timeKernelRun(kernelConfig("static", false), tr, nil); err != nil {
+		return nil, err
+	}
+	for _, policy := range []string{"static", "qcr"} {
+		cell, err := measureCell(policy, reps, func(cfg sim.Config) (int64, uint64, int, int, error) {
+			return timeKernelRun(cfg, tr, nil)
+		})
+		if err != nil {
+			return nil, err
+		}
+		cell.GatedEventPath = gate && policy == "static"
+		rung.Event = append(rung.Event, cell)
+		fmt.Printf("N=%-7d %-7s ref %7.1f ns/contact  fast %7.1f ns/contact  speedup %.2fx  digest_match=%v\n",
+			spec.nodes, policy, cell.RefNsPerContact, cell.FastNsPerContact, cell.Speedup, cell.DigestMatch)
+		if cell.GatedEventPath && cell.Speedup < kernelMinSpeedup {
+			return nil, fmt.Errorf("event path at N=%d: speedup %.2fx below the %.1fx gate",
+				spec.nodes, cell.Speedup, kernelMinSpeedup)
+		}
+	}
+	// Streamed end-to-end: generation + simulation through the bulk seam,
+	// fresh source per run (its RNG drains). Recorded, never gated —
+	// generation cost dilutes the kernel's share of the wall clock.
+	streamed, err := measureCell("static-streamed", reps, func(cfg sim.Config) (int64, uint64, int, int, error) {
+		src, err := rates.NewSharded(m, spec.duration, kernelSeed, 0)
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		cfg.Policy = core.Static{Label: "uni"}
+		return timeKernelRun(cfg, nil, src)
+	})
+	if err != nil {
+		return nil, err
+	}
+	rung.Streamed = streamed
+	fmt.Printf("N=%-7d %-7s ref %7.1f ns/contact  fast %7.1f ns/contact  speedup %.2fx  (end-to-end, ungated)\n",
+		spec.nodes, "stream", streamed.RefNsPerContact, streamed.FastNsPerContact, streamed.Speedup)
+	return rung, nil
+}

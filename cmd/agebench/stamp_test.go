@@ -64,11 +64,11 @@ func TestAllReportsEmbedProvenance(t *testing.T) {
 			return true
 		})
 	}
-	// All seven emitters: trials, contacts, batch, adversary, scale,
-	// hybrid, serve. A count below that means a report struct lost its
-	// `json:"benchmark"` discriminator and escaped this gate.
-	if reports < 7 {
-		t.Fatalf("found %d report structs, want ≥ 7 — did a BENCH writer lose its benchmark field?", reports)
+	// All eight emitters: trials, contacts, batch, adversary, scale,
+	// hybrid, serve, kernel. A count below that means a report struct
+	// lost its `json:"benchmark"` discriminator and escaped this gate.
+	if reports < 8 {
+		t.Fatalf("found %d report structs, want ≥ 8 — did a BENCH writer lose its benchmark field?", reports)
 	}
 }
 
@@ -91,6 +91,7 @@ func TestReportsEmbedProvenanceReflect(t *testing.T) {
 		"scale":     scaleReport{provenance: p},
 		"hybrid":    hybridReport{provenance: p},
 		"serve":     serveReport{provenance: p},
+		"kernel":    kernelReport{provenance: p},
 	} {
 		v := reflect.ValueOf(report)
 		f := v.FieldByName("provenance")

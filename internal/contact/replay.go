@@ -106,6 +106,29 @@ func (s *ReplayStream) Next() (trace.Contact, bool) {
 	return trace.Contact{T: s.t, A: int(s.pairA[idx]), B: int(s.pairB[idx])}, true
 }
 
+// NextBatch implements trace.BulkSource: Generate's draws in Generate's
+// order, filled into the caller's buffer without the per-contact
+// interface dispatch.
+func (s *ReplayStream) NextBatch(buf []trace.Contact) int {
+	if s.done {
+		return 0
+	}
+	n := 0
+	t, total, duration := s.t, s.total, s.duration
+	for n < len(buf) {
+		t += s.rng.ExpFloat64() / total
+		if t > duration {
+			s.done = true
+			break
+		}
+		idx := searchCDF(s.cum, s.rng.Float64())
+		buf[n] = trace.Contact{T: t, A: int(s.pairA[idx]), B: int(s.pairB[idx])}
+		n++
+	}
+	s.t = t
+	return n
+}
+
 // Reopen implements trace.Reopenable: the copy re-derives its RNG from
 // the recorded seeds and shares the immutable CDF and pair tables, so
 // reopening costs one small struct however large the population.

@@ -105,6 +105,30 @@ func (s *Stream) Next() (trace.Contact, bool) {
 	return trace.Contact{T: s.t, A: a, B: b}, true
 }
 
+// NextBatch implements trace.BulkSource: the same exponential steps and
+// alias draws as Next, in the same order, written straight into the
+// caller's buffer. One call amortizes the per-contact interface dispatch
+// and the receiver's field loads over the whole batch.
+func (s *Stream) NextBatch(buf []trace.Contact) int {
+	if s.done {
+		return 0
+	}
+	n := 0
+	t, total, duration := s.t, s.total, s.duration
+	for n < len(buf) {
+		t += s.rng.ExpFloat64() / total
+		if t > duration {
+			s.done = true
+			break
+		}
+		a, b := trace.PairFromIndex(s.nodes, s.alias.Sample(s.rng))
+		buf[n] = trace.Contact{T: t, A: a, B: b}
+		n++
+	}
+	s.t = t
+	return n
+}
+
 // DiscreteStream draws the discrete-time model lazily: slots of length
 // delta, each positive-probability pair meeting independently per slot.
 // It consumes randomness in exactly GenerateDiscrete's order (one
@@ -187,4 +211,21 @@ func (s *DiscreteStream) Next() (trace.Contact, bool) {
 			return trace.Contact{}, false
 		}
 	}
+}
+
+// NextBatch implements trace.BulkSource by repeated concrete Next calls:
+// the uniform draws happen in exactly GenerateDiscrete's order, and the
+// only cost removed is the per-contact interface dispatch — which is the
+// point of the bulk seam.
+func (s *DiscreteStream) NextBatch(buf []trace.Contact) int {
+	n := 0
+	for n < len(buf) {
+		c, ok := s.Next()
+		if !ok {
+			break
+		}
+		buf[n] = c
+		n++
+	}
+	return n
 }

@@ -135,6 +135,28 @@ func (Static) OnFulfill(Cache, int, int, int, int, float64, float64) {}
 // OnMeeting implements Policy.
 func (Static) OnMeeting(Cache, int, int, float64) {}
 
+// PassiveHooks implements PassivePolicy: a static allocation never reacts.
+func (Static) PassiveHooks() bool { return true }
+
+// PassivePolicy marks policies whose OnFulfill and OnMeeting hooks are
+// guaranteed no-ops for the whole run: the simulator's devirtualized
+// meeting loop elides the two virtual calls per contact (and one per
+// fulfillment) entirely, which is measurable at millions of contacts per
+// run. Implementations must return a constant; a policy whose hooks are
+// only *sometimes* inert must not implement this interface. Eliding calls
+// to true no-ops cannot change any simulation result — the digest tests
+// pin that.
+type PassivePolicy interface {
+	PassiveHooks() bool
+}
+
+// IsPassive reports whether p declares both its per-meeting hooks to be
+// no-ops (see PassivePolicy).
+func IsPassive(p Policy) bool {
+	pp, ok := p.(PassivePolicy)
+	return ok && pp.PassiveHooks()
+}
+
 // ReactionFunc maps a final query-counter value to the (real-valued)
 // number of replicas to create for the fulfilled item.
 type ReactionFunc func(queries int) float64

@@ -115,6 +115,23 @@ func (mg *merged) Next() (trace.Contact, bool) {
 	return c, true
 }
 
+// NextBatch implements trace.BulkSource by repeated concrete Next calls:
+// the heap pops happen in the identical order, so the merged sequence is
+// unchanged — the bulk seam only removes the per-contact interface
+// dispatch between the executor and the merge.
+func (mg *merged) NextBatch(buf []trace.Contact) int {
+	n := 0
+	for n < len(buf) {
+		c, ok := mg.Next()
+		if !ok {
+			break
+		}
+		buf[n] = c
+		n++
+	}
+	return n
+}
+
 func (mg *merged) siftDown(i int) {
 	n := len(mg.heads)
 	for {
@@ -239,6 +256,27 @@ func (s *ShardedSource) Next() (trace.Contact, bool) {
 		s.started = true
 	}
 	return s.mg.Next()
+}
+
+// NextBatch implements trace.BulkSource: it lazily builds the in-process
+// merge exactly like Next, then bulk-fills from it. The group draws and
+// the (T, A, B) merge order are identical to the per-contact path —
+// NextBatch(buf) followed by Next() resumes mid-stream seamlessly.
+func (s *ShardedSource) NextBatch(buf []trace.Contact) int {
+	if s.mg == nil {
+		if s.started {
+			return 0 // partitioned away: receiver is drained
+		}
+		srcs, err := s.buildAll()
+		if err != nil {
+			// Same impossible-failure stance as Next: an empty stream.
+			s.started = true
+			return 0
+		}
+		s.mg = newMerged(s.m.nodes, s.duration, srcs)
+		s.started = true
+	}
+	return s.mg.NextBatch(buf)
 }
 
 // Reopen implements trace.Reopenable.

@@ -45,19 +45,27 @@ func RunBatch(cfgs []Config, contacts trace.Source) ([]*Result, error) {
 		r.checked = true // the driver loop below validates each contact once
 		runners[i] = r
 	}
+	// Contacts are drawn in batches through the trace.BulkSource seam
+	// (buffering only — the source consumes its RNG in the identical
+	// order, so the sequence and every runner's digest are unchanged) and
+	// each is validated once, then fed to every runner.
 	prevT := 0.0
+	buf := make([]trace.Contact, contactBatchSize)
 	for {
-		c, ok := contacts.Next()
-		if !ok {
+		n := trace.FillBatch(contacts, buf)
+		if n == 0 {
 			break
 		}
-		if err := trace.CheckStreamContact(c, prevT, nodes, duration); err != nil {
-			return nil, err
-		}
-		prevT = c.T
-		for _, r := range runners {
-			if err := r.step(c); err != nil {
+		for k := range buf[:n] {
+			c := buf[k]
+			if err := trace.CheckStreamContact(c, prevT, nodes, duration); err != nil {
 				return nil, err
+			}
+			prevT = c.T
+			for _, r := range runners {
+				if err := r.step(c); err != nil {
+					return nil, err
+				}
 			}
 		}
 	}

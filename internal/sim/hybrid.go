@@ -262,6 +262,7 @@ type hybridRun struct {
 	popRates []float64 // current true popularity (switch applies here)
 	popCDF   []float64
 	popTotal float64
+	uk       utilKernel // monomorphic delay-utility for the probe loop
 
 	measureStart float64
 	res          *Result
@@ -364,6 +365,7 @@ func newHybridRun(cfg *Config, m *rates.Model, duration float64, hy HybridOption
 		nodes: nodes, items: items, comms: comms, sizes: sizes,
 		measureStart: cfg.WarmupFrac * duration,
 		winArr:       make([]float64, items),
+		uk:           kernelFor(cfg.Utility, cfg.ReferenceKernel),
 		tally:        &HybridTally{},
 	}
 	h.pushBelief()
@@ -676,7 +678,7 @@ func (h *hybridRun) arrival(t float64) {
 	h.winArr[i]++
 	k := int(h.probeComm[p])
 	if h.rng.Float64() < h.frac(k, i) {
-		h.record(p, t, h.cfg.Utility.H0(), true)
+		h.record(p, t, h.uk.H0(), true)
 		return
 	}
 	h.open[p] = append(h.open[p], openReq{item: int32(i), t0: t})
@@ -702,7 +704,7 @@ func (h *hybridRun) meeting(t float64) {
 	reqs := h.open[p][:0]
 	for _, rq := range h.open[p] {
 		if h.rng.Float64() < h.frac(l, int(rq.item)) {
-			h.record(p, t, h.cfg.Utility.H(t-rq.t0), false)
+			h.record(p, t, h.uk.H(t-rq.t0), false)
 		} else {
 			reqs = append(reqs, rq)
 		}
@@ -849,7 +851,7 @@ func (h *hybridRun) finish() {
 	for _, reqs := range h.open {
 		res.Outstanding += len(reqs)
 		for _, rq := range reqs {
-			if g := h.cfg.Utility.H(h.duration - rq.t0); g < 0 && rq.t0 >= h.measureStart {
+			if g := h.uk.H(h.duration - rq.t0); g < 0 && rq.t0 >= h.measureStart {
 				res.TotalGain += g
 				res.OutstandingCost += g
 			}

@@ -106,32 +106,35 @@ func RunBatchSharded(cfgs []Config, contacts trace.Source, shards int) ([]*Resul
 		defer stream.stop()
 		prevT := 0.0
 		var ord int64
-		buf := make([]trace.Contact, 0, shardChunkSize)
-		flush := func() bool {
-			if len(buf) == 0 {
-				return true
-			}
-			ck := shardChunk{base: ord - int64(len(buf)), contacts: buf}
-			for _, f := range feeds {
-				f <- ck
-			}
-			buf = make([]trace.Contact, 0, shardChunkSize)
-			return !stop.Load()
-		}
-		for {
-			c, ok := stream.next()
-			if !ok {
+		for prodErr == nil {
+			// The source bulk-fills the broadcast chunk in place — no
+			// per-contact staging copy. Each chunk is freshly allocated
+			// because the workers hold references to broadcast chunks.
+			chunk := make([]trace.Contact, shardChunkSize)
+			n := stream.fill(chunk)
+			if n == 0 {
 				break
 			}
-			if err := trace.CheckStreamContact(c, prevT, nodes, duration); err != nil {
-				prodErr = &shardError{ord: ord, class: -1, err: err}
-				break
+			valid := 0
+			for k := range chunk[:n] {
+				if err := trace.CheckStreamContact(chunk[k], prevT, nodes, duration); err != nil {
+					prodErr = &shardError{ord: ord + int64(valid), class: -1, err: err}
+					break
+				}
+				prevT = chunk[k].T
+				valid++
 			}
-			prevT = c.T
-			buf = append(buf, c)
-			ord++
-			if len(buf) == shardChunkSize {
-				if !flush() {
+			// Broadcast the valid prefix even when validation failed
+			// mid-chunk: the serial executor steps every contact before the
+			// failing one, and the deterministic error selection needs the
+			// workers to have seen exactly that prefix.
+			if valid > 0 {
+				ck := shardChunk{base: ord, contacts: chunk[:valid]}
+				for _, f := range feeds {
+					f <- ck
+				}
+				ord += int64(valid)
+				if stop.Load() {
 					return
 				}
 			}
@@ -141,7 +144,6 @@ func RunBatchSharded(cfgs []Config, contacts trace.Source, shards int) ([]*Resul
 				prodErr = &shardError{ord: ord, class: -1, err: err}
 			}
 		}
-		flush()
 	}()
 
 	// Workers: step owned runners over every broadcast contact; on a
@@ -300,6 +302,28 @@ func (s *shardStream) next() (trace.Contact, bool) {
 	}
 	s.parts[bestI].i++
 	return bestC, true
+}
+
+// fill bulk-fills buf with the globally next contacts. The
+// non-partitioned path goes through the trace.BulkSource seam (one
+// interface call per chunk instead of per contact); the partitioned
+// path loops the concrete linear-scan merge, which carries no dispatch
+// to elide. Either way the sequence is exactly what repeated next()
+// would yield.
+func (s *shardStream) fill(buf []trace.Contact) int {
+	if s.parts == nil {
+		return trace.FillBatch(s.src, buf)
+	}
+	n := 0
+	for n < len(buf) {
+		c, ok := s.next()
+		if !ok {
+			break
+		}
+		buf[n] = c
+		n++
+	}
+	return n
 }
 
 // err surfaces a mid-stream source failure (only possible on the

@@ -77,6 +77,19 @@ type Config struct {
 
 	Seed uint64
 
+	// ReferenceKernel disables the devirtualized contact kernel and runs
+	// the pre-batching reference hot path instead: contacts are consumed
+	// one Source.Next interface call at a time, every delay-utility is
+	// evaluated through the utility.Function interface, and the policy
+	// hooks are always invoked — even when they are provable no-ops. The
+	// two kernels are bit-identical by construction (the fast paths
+	// compute the same float expressions in the same order and only elide
+	// calls to guaranteed no-ops), which the kernel benchmark's in-run
+	// digest-equality gate and the sim digest tests pin. It exists for
+	// that before/after measurement and for equivalence tests; production
+	// callers leave it false.
+	ReferenceKernel bool
+
 	// WarmupFrac is the fraction of the run excluded from the average
 	// utility (the allocation needs time to converge). 0 means the
 	// default of 0.2; pass a negative value for no warmup at all.
@@ -209,11 +222,17 @@ type state struct {
 	rho     int
 	rng     *rand.Rand
 	// ufns caches each item's resolved delay-utility: one slice read on
-	// the per-fulfillment hot path (fulfillSide, handleArrival, crash and
-	// the horizon accounting) instead of re-resolving the Utilities
-	// override against the default every time. Built once at setup; the
-	// resolution rule itself lives in resolveUtility.
-	ufns    []utility.Function
+	// the warm paths instead of re-resolving the Utilities override
+	// against the default every time. Built once at setup; the resolution
+	// rule itself lives in resolveUtility.
+	ufns []utility.Function
+	// uks is the monomorphic fast path over ufns: each item's utility
+	// resolved to a flat family-tagged kernel (see kernel.go), so the
+	// per-fulfillment h(age) and h(0⁺) evaluations in fulfillSide,
+	// handleArrival, crash and the horizon accounting are a tag switch
+	// instead of an interface call. Under Config.ReferenceKernel every
+	// kernel is the generic arm, i.e. exactly the old interface path.
+	uks     []utilKernel
 	slots   [][]int32 // per node: item id per slot, -1 when empty
 	stickyS [][]bool  // per node: slot pinned?
 	has     []bool    // node*items + item
@@ -426,14 +445,14 @@ func (s *state) crash(n int, t float64, res *Result) {
 	for _, it := range s.reqItems[n] {
 		item := int(it)
 		idx := n*s.items + item
-		f := s.utilityFor(item)
+		uk := &s.uks[item]
 		for _, rq := range s.reqs[idx] {
 			s.tally.RequestsLost++
 			age := t - rq.t0
 			if age <= 0 {
 				age = 1e-9
 			}
-			if h := f.H(age); h < 0 && rq.t0 >= res.MeasureStart {
+			if h := uk.H(age); h < 0 && rq.t0 >= res.MeasureStart {
 				res.TotalGain += h
 				res.OutstandingCost += h
 			}
@@ -500,7 +519,25 @@ type runner struct {
 	// executor's shared stream (checked once per contact by the driver,
 	// not once per runner) — so step skips the per-contact re-check.
 	checked bool
+	// passive elides the policy hooks: set when the policy declares both
+	// its hooks no-ops (core.IsPassive), the adversary layer is off (its
+	// tallies piggyback on the hook call sites), and the reference kernel
+	// is not forced. Eliding a call to a guaranteed no-op is invisible to
+	// every Result field — the fast/reference digest tests pin it.
+	passive bool
+	// hasBins gates the per-contact flushTo call: with no time series the
+	// call is a guaranteed no-op (flushTo returns immediately when
+	// BinWidth ≤ 0), but it is not inlinable, so the fast path skips it
+	// entirely. Reference mode keeps the call to replay the old shape.
+	hasBins bool
 }
+
+// contactBatchSize is the reusable buffer the batched kernel streams
+// contacts through: large enough to amortize the per-batch interface
+// call and the source's per-call state loads to nothing, small enough
+// (96 KiB) to stay cache- and memory-friendly. It matches the sharded
+// executor's chunk size.
+const contactBatchSize = 4096
 
 // Run executes the simulation: set-up, one step per contact in time
 // order, then the horizon accounting. The two contact paths are
@@ -517,23 +554,49 @@ func Run(cfg Config) (*Result, error) {
 				return nil, err
 			}
 		}
-	} else {
+	} else if err := r.drain(cfg.Contacts); err != nil {
+		return nil, err
+	}
+	return r.finish()
+}
+
+// drain consumes a streaming contact source to exhaustion: batches of
+// contactBatchSize through the trace.BulkSource seam on the fast path
+// (buffering only — the source draws the identical contact sequence, so
+// digests are unchanged), one Next interface call per contact under
+// Config.ReferenceKernel. A terminal source error is propagated either
+// way.
+func (r *runner) drain(src trace.Source) error {
+	if r.cfg.ReferenceKernel {
 		for {
-			c, ok := cfg.Contacts.Next()
+			c, ok := src.Next()
 			if !ok {
 				break
 			}
 			if err := r.step(c); err != nil {
-				return nil, err
+				return err
 			}
 		}
-		if es, ok := cfg.Contacts.(trace.ErrSource); ok {
-			if err := es.Err(); err != nil {
-				return nil, err
+	} else {
+		buf := make([]trace.Contact, contactBatchSize)
+		for {
+			n := trace.FillBatch(src, buf)
+			if n == 0 {
+				break
+			}
+			for i := range buf[:n] {
+				if err := r.step(buf[i]); err != nil {
+					return err
+				}
 			}
 		}
 	}
-	return r.finish()
+	if es, ok := src.(trace.ErrSource); ok {
+		if err := es.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // newRunner validates the configuration and builds the initial caches,
@@ -587,8 +650,10 @@ func buildRunner(cfg *Config, nodes int, duration float64) (*runner, error) {
 		s.stickyN[i] = -1
 	}
 	s.ufns = make([]utility.Function, items)
+	s.uks = make([]utilKernel, items)
 	for i := range s.ufns {
 		s.ufns[i] = resolveUtility(cfg, i)
+		s.uks[i] = kernelFor(s.ufns[i], cfg.ReferenceKernel)
 	}
 	if err := s.initCaches(); err != nil {
 		return nil, err
@@ -703,6 +768,8 @@ func buildRunner(cfg *Config, nodes int, duration float64) (*runner, error) {
 		r.bins = make([]Bin, 0, int(duration/cfg.BinWidth)+2)
 	}
 	r.mc, r.hasMandates = cfg.Policy.(mandateCounter)
+	r.passive = core.IsPassive(cfg.Policy) && s.adv == nil && !cfg.ReferenceKernel
+	r.hasBins = cfg.BinWidth > 0 || cfg.ReferenceKernel
 	r.next, r.ok = proc.Next()
 	return r, nil
 }
@@ -715,9 +782,13 @@ func (r *runner) flushTo(t float64) {
 	}
 	for target := int(t / cfg.BinWidth); r.binIdx < target; {
 		if r.binIdx >= 0 && r.binIdx < len(r.bins) {
-			// Finalize the closing bin with snapshots.
+			// Finalize the closing bin with snapshots. The snapshot copies
+			// straight from the live counters — one allocation per bin, not
+			// two through an intermediate conversion.
 			if cfg.RecordCounts {
-				r.bins[r.binIdx].Counts = append(alloc.Counts(nil), intsToCounts(r.s.counts)...)
+				c := make(alloc.Counts, len(r.s.counts))
+				copy(c, r.s.counts)
+				r.bins[r.binIdx].Counts = c
 			}
 			if r.hasMandates {
 				r.bins[r.binIdx].Mandates = r.mc.TotalMandates()
@@ -764,9 +835,14 @@ func (r *runner) handleArrival(rq demand.Request) {
 	}
 	if s.Has(rq.Node, rq.Item) {
 		// Pure P2P immediate fulfillment from the local cache.
-		r.record(rq.T, s.utilityFor(rq.Item).H0(), rq.Item, 0, true)
+		r.record(rq.T, s.uks[rq.Item].H0(), rq.Item, 0, true)
 		if s.inj != nil && !r.cfg.NoSticky && s.stickyN[rq.Item] < 0 {
 			s.reseed(rq.Node, rq.Item)
+		}
+		if r.passive {
+			// Static policy, no adversary: OnFulfill is a no-op, skip the
+			// virtual call (and the role lookup it would precede).
+			return
 		}
 		if s.adv != nil && s.adv.FreeRider(rq.Node) {
 			// A free-rider consumes without running the protocol.
@@ -809,22 +885,33 @@ func (r *runner) fulfillSide(n, peer int, t float64) {
 		// the request stays open and the counter advances, exactly as
 		// if the peer's cache missed.
 		if s.Has(peer, item) && !s.truncated && !peerRefuses {
-			for _, rq := range pending {
-				q := rq.queries + 1
-				age := t - rq.t0
-				r.record(t, s.utilityFor(item).H(age), item, age, false)
-				switch {
-				case nFreeRides:
-					// A free-rider consumes without running the protocol.
-					s.atally.SuppressedReactions++
-					continue
-				case nDishonest:
-					if inflated := s.adv.Inflate(q); inflated != q {
-						q = inflated
-						s.atally.InflatedReports++
-					}
+			uk := &s.uks[item]
+			if r.passive {
+				// Static policy, no adversary: the role switch is dead and
+				// OnFulfill is a no-op — record the fulfillments without
+				// the per-request virtual call.
+				for _, rq := range pending {
+					age := t - rq.t0
+					r.record(t, uk.H(age), item, age, false)
 				}
-				r.cfg.Policy.OnFulfill(s, n, peer, item, q, age, t)
+			} else {
+				for _, rq := range pending {
+					q := rq.queries + 1
+					age := t - rq.t0
+					r.record(t, uk.H(age), item, age, false)
+					switch {
+					case nFreeRides:
+						// A free-rider consumes without running the protocol.
+						s.atally.SuppressedReactions++
+						continue
+					case nDishonest:
+						if inflated := s.adv.Inflate(q); inflated != q {
+							q = inflated
+							s.atally.InflatedReports++
+						}
+					}
+					r.cfg.Policy.OnFulfill(s, n, peer, item, q, age, t)
+				}
 			}
 			if s.inj != nil && !s.cfg.NoSticky && s.stickyN[item] < 0 {
 				s.reseed(peer, item)
@@ -894,10 +981,20 @@ func (r *runner) step(c trace.Contact) error {
 		}
 		r.prevT = c.T
 	}
-	if err := r.advanceTo(c.T); err != nil {
-		return err
+	// Inline advanceTo's first-iteration test: when no churn event and no
+	// arrival is due before this contact — the common case at realistic
+	// demand — the (non-inlinable) call is skipped outright. The guard is
+	// exactly the loop's own exit condition, so behavior is identical;
+	// reference mode keeps the unconditional call of the old shape.
+	if r.cfg.ReferenceKernel ||
+		(r.fi < len(r.fevents) && r.fevents[r.fi].T <= c.T) || (r.ok && r.next.T <= c.T) {
+		if err := r.advanceTo(c.T); err != nil {
+			return err
+		}
 	}
-	r.flushTo(c.T)
+	if r.hasBins {
+		r.flushTo(c.T)
+	}
 	s := r.s
 	if s.inj != nil && (s.down[c.A] || s.down[c.B]) {
 		// A crashed node cannot meet anyone; the contact is lost.
@@ -909,9 +1006,29 @@ func (r *runner) step(c trace.Contact) error {
 		s.truncated = true
 		s.tally.TruncatedMeetings++
 	}
-	r.fulfillSide(c.A, c.B, c.T)
-	r.fulfillSide(c.B, c.A, c.T)
-	r.cfg.Policy.OnMeeting(s, c.A, c.B, c.T)
+	if r.cfg.ReferenceKernel {
+		// Reference mode replays the pre-devirtualized call shape exactly:
+		// unconditional fulfillSide calls and the virtual OnMeeting hook.
+		r.fulfillSide(c.A, c.B, c.T)
+		r.fulfillSide(c.B, c.A, c.T)
+		r.cfg.Policy.OnMeeting(s, c.A, c.B, c.T)
+	} else {
+		// A side with no outstanding requests has nothing to fulfill;
+		// skipping the call also skips its adversary role lookups. With a
+		// passive policy OnMeeting is a no-op and the virtual call is
+		// elided. Both cuts are behavior-identical: fulfillSide on an empty
+		// list returns before any mutation, and passivity is only set when
+		// no adversary tallies can mutate at hook call sites.
+		if len(s.reqItems[c.A]) != 0 {
+			r.fulfillSide(c.A, c.B, c.T)
+		}
+		if len(s.reqItems[c.B]) != 0 {
+			r.fulfillSide(c.B, c.A, c.T)
+		}
+		if !r.passive {
+			r.cfg.Policy.OnMeeting(s, c.A, c.B, c.T)
+		}
+	}
 	s.truncated = false
 	return nil
 }
@@ -929,7 +1046,9 @@ func (r *runner) finish() (*Result, error) {
 	// end of the trace.
 	if cfg.BinWidth > 0 && r.binIdx >= 0 && r.binIdx < len(r.bins) {
 		if cfg.RecordCounts {
-			r.bins[r.binIdx].Counts = append(alloc.Counts(nil), intsToCounts(s.counts)...)
+			c := make(alloc.Counts, len(s.counts))
+			copy(c, s.counts)
+			r.bins[r.binIdx].Counts = c
 		}
 		if r.hasMandates {
 			r.bins[r.binIdx].Mandates = r.mc.TotalMandates()
@@ -939,7 +1058,9 @@ func (r *runner) finish() (*Result, error) {
 		}
 	}
 
-	copy(res.FinalCounts, intsToCounts(s.counts))
+	// alloc.Counts is []int, so the live counters copy over directly — no
+	// temporary conversion slice.
+	copy(res.FinalCounts, s.counts)
 	// Requests still outstanding at the horizon have already suffered
 	// their waiting cost even though no fulfillment event recorded it:
 	// charge min(0, h(age)) per open request. Without this, starving an
@@ -952,14 +1073,14 @@ func (r *runner) finish() (*Result, error) {
 		// so the Result digest is reproducible run to run.
 		for _, it := range s.reqItems[n] {
 			item := int(it)
-			f := s.utilityFor(item)
+			uk := &s.uks[item]
 			for _, rq := range s.reqs[n*s.items+item] {
 				res.Outstanding++
 				age := end - rq.t0
 				if age <= 0 {
 					age = 1e-9
 				}
-				if h := f.H(age); h < 0 && rq.t0 >= res.MeasureStart {
+				if h := uk.H(age); h < 0 && rq.t0 >= res.MeasureStart {
 					res.TotalGain += h
 					res.OutstandingCost += h
 				}
@@ -998,12 +1119,6 @@ func (r *runner) finish() (*Result, error) {
 
 // mandateCounter is implemented by policies that track pending mandates.
 type mandateCounter interface{ TotalMandates() int }
-
-func intsToCounts(v []int) alloc.Counts {
-	c := make(alloc.Counts, len(v))
-	copy(c, v)
-	return c
-}
 
 // validate checks the configuration and resolves the population size and
 // run duration from whichever contact input (Trace or Contacts) is set.

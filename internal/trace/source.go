@@ -31,6 +31,44 @@ type ErrSource interface {
 	Err() error
 }
 
+// BulkSource is a Source that can fill a caller-provided buffer with the
+// next run of contacts in one call: NextBatch writes up to len(buf)
+// contacts into buf and returns how many it wrote; 0 means the source is
+// exhausted (matching Next returning false). The contacts — values and
+// order — are exactly what repeated Next calls would have produced: a
+// bulk fill is buffering, never reordering, so RNG draw order and the
+// resulting digests are byte-identical on both paths. The seam exists for
+// the simulator's batched contact kernel, which amortizes the
+// per-contact interface dispatch (and the callee's per-call state loads)
+// over a few thousand contacts at a time.
+//
+// Implementations must tolerate an empty buf (return 0 without drawing)
+// and must support interleaving NextBatch with Next on the same source.
+type BulkSource interface {
+	Source
+	NextBatch(buf []Contact) int
+}
+
+// FillBatch fills buf from src, using the bulk seam when src implements
+// BulkSource and falling back to repeated Next calls otherwise. Both
+// paths yield identical contact sequences; the return value is the number
+// of contacts written, 0 at end of stream.
+func FillBatch(src Source, buf []Contact) int {
+	if bs, ok := src.(BulkSource); ok {
+		return bs.NextBatch(buf)
+	}
+	n := 0
+	for n < len(buf) {
+		c, ok := src.Next()
+		if !ok {
+			break
+		}
+		buf[n] = c
+		n++
+	}
+	return n
+}
+
 // Reopenable is a Source that can hand out a fresh, rewound copy of
 // itself: Reopen returns a new Source that streams the identical contact
 // sequence from the start, regardless of how far the receiver has been
@@ -88,6 +126,14 @@ func (s *SliceSource) Next() (Contact, bool) {
 	c := s.tr.Contacts[s.i]
 	s.i++
 	return c, true
+}
+
+// NextBatch implements BulkSource: one bulk copy out of the materialized
+// slice instead of a per-contact cursor walk.
+func (s *SliceSource) NextBatch(buf []Contact) int {
+	n := copy(buf, s.tr.Contacts[s.i:])
+	s.i += n
+	return n
 }
 
 // Reopen implements Reopenable: the fresh view shares the underlying
